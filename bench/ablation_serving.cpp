@@ -1,0 +1,52 @@
+// Ablation: online serving with a Poisson request stream -- the deployment
+// scenario the paper's introduction motivates (variable-length requests
+// arriving continuously).  Compares the length-aware sparse design against
+// the padded dense baseline across arrival rates and reports tail latency
+// and device utilization.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace latte;
+
+int main() {
+  std::printf("== Ablation: online serving (Poisson arrivals, batch former "
+              "<=16, 20 ms flush) ==\n\n");
+
+  const auto model = BertBase();
+  const auto dataset = Rte();
+
+  TextTable table({"arrival (req/s)", "design", "p50 (ms)", "p95 (ms)",
+                   "p99 (ms)", "throughput (req/s)", "device busy"});
+  for (double rate : {20.0, 60.0, 120.0}) {
+    ServingConfig aware;
+    aware.arrival_rate_rps = rate;
+    aware.max_batch = 16;
+    aware.requests = 256;
+    ServingConfig base = aware;
+    base.accel.mode = FpgaMode::kBaseline;
+    base.accel.baseline_pad_to =
+        static_cast<std::size_t>(dataset.max_len);
+
+    const auto a = SimulateServing(model, dataset, aware);
+    const auto b = SimulateServing(model, dataset, base);
+    table.AddRow({Fmt(rate, 0), "FPGA length-aware (ours)",
+                  Fmt(a.p50_latency_s * 1e3, 1),
+                  Fmt(a.p95_latency_s * 1e3, 1),
+                  Fmt(a.p99_latency_s * 1e3, 1),
+                  Fmt(a.throughput_rps, 1),
+                  Fmt(100 * a.device_busy_frac, 0) + "%"});
+    table.AddRow({Fmt(rate, 0), "FPGA baseline (padded dense)",
+                  Fmt(b.p50_latency_s * 1e3, 1),
+                  Fmt(b.p95_latency_s * 1e3, 1),
+                  Fmt(b.p99_latency_s * 1e3, 1),
+                  Fmt(b.throughput_rps, 1),
+                  Fmt(100 * b.device_busy_frac, 0) + "%"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("the padded baseline saturates first: padding burns device "
+              "time, queues build, and tail latency diverges while the "
+              "length-aware design still has headroom.\n");
+  return 0;
+}

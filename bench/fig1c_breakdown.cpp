@@ -1,0 +1,90 @@
+// Reproduces Fig 1(c): time-consumption breakdown of one encoder layer on a
+// GPU (TensorRT-style dense execution), 128-token input.
+//
+// Paper observation: ~60% of encoder time sits in the self-attention
+// workflow (Linear/QKV through the output Linear), and the share grows with
+// sequence length.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace latte;
+
+namespace {
+
+/// Fig 1(c) legend buckets.
+const char* Bucket(OpKind kind) {
+  switch (kind) {
+    case OpKind::kQkvProjection:    return "Self-attention: Linear (QKV)";
+    case OpKind::kScoreMatMul:      return "Self-attention: MatMul (QK^T)";
+    case OpKind::kScale:            return "Self-attention: Scale";
+    case OpKind::kMask:             return "Self-attention: Masking";
+    case OpKind::kSoftmax:          return "Self-attention: Softmax";
+    case OpKind::kContextMatMul:    return "Self-attention: MatMul (SV)";
+    case OpKind::kOutputProjection: return "Self-attention: Linear (out)";
+    case OpKind::kLayerNorm1:
+    case OpKind::kLayerNorm2:       return "Other: 2xLayerNorm";
+    case OpKind::kFfn1:
+    case OpKind::kFfn2:             return "Other: 2xLinear";
+    case OpKind::kGelu:             return "Other: Activation";
+    default:                        return "Other";
+  }
+}
+
+bool IsSelfAttentionBucket(OpKind kind) {
+  switch (kind) {
+    case OpKind::kQkvProjection:
+    case OpKind::kScoreMatMul:
+    case OpKind::kScale:
+    case OpKind::kMask:
+    case OpKind::kSoftmax:
+    case OpKind::kContextMatMul:
+    case OpKind::kOutputProjection:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto model = BertBase();
+  const auto platform = QuadroRtx6000();
+  const auto ops = EncoderOps(model.encoder, AttentionMode::kDense);
+
+  for (double n : {128.0, 512.0}) {
+    std::map<std::string, double> bucket_time;
+    double total = 0, attn = 0;
+    for (const auto& op : ops) {
+      const double t = PlatformOpSeconds(platform, op, n);
+      bucket_time[Bucket(op.kind)] += t;
+      total += t;
+      if (IsSelfAttentionBucket(op.kind)) attn += t;
+    }
+
+    std::printf("== Fig 1(c): encoder operator time breakdown ==\n");
+    std::printf("model=%s  platform=%s  sequence length=%d  (one layer)\n\n",
+                model.name.c_str(), platform.name.c_str(),
+                static_cast<int>(n));
+
+    // Sorted by time share, like reading the pie chart clockwise.
+    std::vector<std::pair<std::string, double>> rows(bucket_time.begin(),
+                                                     bucket_time.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    TextTable table({"operator", "time (us)", "share"});
+    for (const auto& [name, t] : rows) {
+      table.AddRow({name, Fmt(t * 1e6, 2), Fmt(100.0 * t / total, 1) + "%"});
+    }
+    std::printf("%s\n", table.Render().c_str());
+    std::printf("encoder layer total: %.1f us\n", total * 1e6);
+    std::printf("self-attention workflow share: %.1f%%  (paper: ~60%% at "
+                "n=128, growing with n)\n\n",
+                100.0 * attn / total);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Fig 7(a): end-to-end cross-platform throughput comparison.
+//
+// Five designs on four model/task combos (batch 16, Top-30): CPU Xeon Gold
+// 5218, Jetson TX2, Quadro RTX 6000 (all dense, padded to the batch max),
+// FPGA baseline (padded + dense attention), and the FPGA length-aware
+// sparse design.  Speedups are reported relative to the CPU, matching the
+// figure's normalization; the paper's geomean speedups of the length-aware
+// design are 80.2x (CPU), 41.3x (TX2), 2.6x (RTX 6000), 3.1x (FPGA
+// baseline).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace latte;
+using namespace latte::bench;
+
+int main() {
+  std::printf("== Fig 7(a): end-to-end cross-platform throughput ==\n");
+  std::printf("(batch 16, Top-30 sparse attention, speedup normalized to "
+              "CPU)\n\n");
+
+  TextTable table({"Model / task", "CPU", "Jetson TX2", "RTX 6000",
+                   "FPGA baseline", "FPGA length-aware"});
+  std::vector<double> g_cpu, g_tx2, g_gpu, g_base;
+  std::uint64_t seed = 42;
+  for (const auto& combo : Fig7Combos()) {
+    const auto lens = SampleBatch(combo.dataset, 16, seed++);
+    const auto lat = MeasureAll(combo.model, combo.dataset, lens);
+    table.AddRow({combo.model.name + " " + combo.dataset.name, FmtX(1.0),
+                  FmtX(lat.cpu / lat.tx2), FmtX(lat.cpu / lat.gpu),
+                  FmtX(lat.cpu / lat.fpga_base),
+                  FmtX(lat.cpu / lat.fpga_aware)});
+    g_cpu.push_back(lat.cpu / lat.fpga_aware);
+    g_tx2.push_back(lat.tx2 / lat.fpga_aware);
+    g_gpu.push_back(lat.gpu / lat.fpga_aware);
+    g_base.push_back(lat.fpga_base / lat.fpga_aware);
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("geomean speedup of FPGA length-aware vs:\n");
+  std::printf("  CPU           : %6.1fx   (paper: 80.2x)\n", GeoMean(g_cpu));
+  std::printf("  Jetson TX2    : %6.1fx   (paper: 41.3x)\n", GeoMean(g_tx2));
+  std::printf("  RTX 6000      : %6.1fx   (paper:  2.6x)\n", GeoMean(g_gpu));
+  std::printf("  FPGA baseline : %6.1fx   (paper:  3.1x)\n", GeoMean(g_base));
+  return 0;
+}

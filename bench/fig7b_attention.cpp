@@ -1,0 +1,44 @@
+// Reproduces Fig 7(b): cross-platform throughput of the self-attention
+// computation (score..context, the O(n^2) part sparse attention linearizes).
+//
+// Paper geomeans for the FPGA sparse-attention hardware: 1073x (CPU),
+// 550x (TX2), 35x (RTX 6000), 41x (FPGA baseline).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace latte;
+using namespace latte::bench;
+
+int main() {
+  std::printf("== Fig 7(b): cross-platform attention throughput ==\n");
+  std::printf("(self-attention score..context computation only, batch 16, "
+              "Top-30; speedup normalized to CPU)\n\n");
+
+  TextTable table({"Model / task", "CPU", "Jetson TX2", "RTX 6000",
+                   "FPGA baseline", "FPGA sparse attention"});
+  std::vector<double> g_cpu, g_tx2, g_gpu, g_base;
+  std::uint64_t seed = 42;  // same batches as fig7a
+  for (const auto& combo : Fig7Combos()) {
+    const auto lens = SampleBatch(combo.dataset, 16, seed++);
+    const auto lat = MeasureAll(combo.model, combo.dataset, lens);
+    table.AddRow({combo.model.name + " " + combo.dataset.name, FmtX(1.0),
+                  FmtX(lat.cpu_attn / lat.tx2_attn),
+                  FmtX(lat.cpu_attn / lat.gpu_attn),
+                  FmtX(lat.cpu_attn / lat.fpga_base_attn),
+                  FmtX(lat.cpu_attn / lat.fpga_aware_attn)});
+    g_cpu.push_back(lat.cpu_attn / lat.fpga_aware_attn);
+    g_tx2.push_back(lat.tx2_attn / lat.fpga_aware_attn);
+    g_gpu.push_back(lat.gpu_attn / lat.fpga_aware_attn);
+    g_base.push_back(lat.fpga_base_attn / lat.fpga_aware_attn);
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("geomean speedup of FPGA sparse attention vs:\n");
+  std::printf("  CPU           : %7.1fx   (paper: 1073x)\n", GeoMean(g_cpu));
+  std::printf("  Jetson TX2    : %7.1fx   (paper:  550x)\n", GeoMean(g_tx2));
+  std::printf("  RTX 6000      : %7.1fx   (paper:   35x)\n", GeoMean(g_gpu));
+  std::printf("  FPGA baseline : %7.1fx   (paper:   41x)\n", GeoMean(g_base));
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Design-space explorer: Algorithm 1 stage allocation and the pipeline
+// resource planner across DSP budgets and design-point sequence lengths.
+//
+//   $ ./design_space [model: base|large|distil]
+//
+// Shows how the coarse-grained stage partition and the per-stage DSP split
+// react to the chip budget -- the co-design loop of Section 4.
+
+#include <cstdio>
+#include <cstring>
+
+#include "latte/latte.hpp"
+
+int main(int argc, char** argv) {
+  using namespace latte;
+
+  ModelConfig model = BertBase();
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "large") == 0) model = BertLarge();
+    else if (std::strcmp(argv[1], "distil") == 0) model = DistilBert();
+  }
+
+  const auto ops =
+      EncoderOps(model.encoder, AttentionMode::kSparseTopK, /*top_k=*/30);
+  const auto g = OpGraph::Chain(ops);
+
+  std::printf("design-space exploration for %s (sparse Top-30 encoder)\n\n",
+              model.name.c_str());
+
+  // --- Algorithm 1 across budgets ---------------------------------------
+  std::printf("Algorithm 1 stage allocation vs DSP budget (s_avg = 177):\n");
+  for (double budget : {768.0, 1500.0, 3000.0, 6000.0, 12000.0}) {
+    AllocatorConfig cfg;
+    cfg.dsp_budget = budget;
+    const auto res = AllocateStages(g, 177, cfg);
+    std::printf("  budget %6.0f DSP -> %zu stages, %6.0f DSP lanes used |",
+                budget, res.stages.size(), res.TotalDsp(g));
+    for (const auto& stage : res.stages) {
+      std::printf(" [");
+      for (std::size_t i = 0; i < stage.ops.size(); ++i) {
+        std::printf("%s%s", i ? " " : "",
+                    g.node(stage.ops[i].op).spec.name.c_str());
+      }
+      std::printf("]");
+    }
+    std::printf("\n");
+  }
+
+  // --- planner across design-point lengths ------------------------------
+  std::printf("\npipeline plan vs design-point sequence length (canonical "
+              "3-stage partition, 3000 DSPs):\n");
+  TextTable table({"s_avg", "stage-1 DSP", "stage-2 DSP", "stage-3 DSP",
+                   "tokens/ms", "replication"});
+  for (double s : {53.0, 68.0, 177.0, 512.0, 821.0}) {
+    const auto alloc = CanonicalStages(g, s);
+    const auto work = StageFlopsPerToken(g, alloc, s);
+    PlannerConfig pcfg;
+    const auto plan = PlanPipeline(work, pcfg);
+    std::string repl;
+    for (const auto& st : plan.stages) {
+      if (!repl.empty()) repl += "/";
+      repl += std::to_string(st.replication);
+    }
+    table.AddRow({Fmt(s, 0), Fmt(plan.stages[0].dsp, 0),
+                  Fmt(plan.stages[1].dsp, 0), Fmt(plan.stages[2].dsp, 0),
+                  Fmt(plan.TokensPerSecond(200e6) / 1e3, 1), repl});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("sparse attention keeps every stage O(n), so the DSP split "
+              "is nearly length-independent -- the property that lets one "
+              "static design serve all sequence lengths (Section 4.2).\n");
+  return 0;
+}

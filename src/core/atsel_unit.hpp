@@ -1,0 +1,52 @@
+#pragma once
+// The Stage-1 "At-Sel" unit of Fig 2(a), assembled from its hardware
+// pieces: the Bits Selector (ultra-low-bit quantizer), the product-LUT
+// score datapath, and the streaming systolic Top-k sorter, with cycle
+// accounting for the whole unit.
+//
+// `SelectCandidates` (candidate_selector.hpp) is the behavioural model the
+// rest of the library uses; this unit is the structural model.  Tests
+// assert the two agree element-for-element, which pins down that the
+// behavioural shortcut is faithful to the hardware composition.
+
+#include <algorithm>
+
+#include "core/candidate_selector.hpp"
+#include "core/merge_sorter.hpp"
+
+namespace latte {
+
+/// Cycle statistics of one At-Sel pass.
+struct AtSelUnitStats {
+  std::size_t quantize_cycles = 0;  ///< Bits Selector: one element/cycle
+  std::size_t score_cycles = 0;     ///< LUT datapath: one dot per cycle
+                                    ///< at `lut_lanes` lanes
+  std::size_t sort_cycles = 0;      ///< systolic sorter: II=1 per element
+  std::size_t compare_exchanges = 0;
+
+  std::size_t TotalCycles() const {
+    // The three units are chained with FIFOs (Fig 2(a)) and stream
+    // concurrently; the slowest unit dominates once the pipeline fills.
+    return std::max({quantize_cycles, score_cycles, sort_cycles});
+  }
+};
+
+/// Structural At-Sel unit.
+class AtSelUnit {
+ public:
+  /// `lut_lanes` parallel dot-product lanes in the LUT datapath.
+  explicit AtSelUnit(SelectorConfig cfg, std::size_t lut_lanes = 64);
+
+  /// Runs pre-selection for one head; functionally identical to
+  /// SelectCandidates(q, k, cfg).
+  SelectionResult Run(const MatrixF& q, const MatrixF& k,
+                      AtSelUnitStats* stats = nullptr) const;
+
+  const SelectorConfig& config() const { return cfg_; }
+
+ private:
+  SelectorConfig cfg_;
+  std::size_t lut_lanes_;
+};
+
+}  // namespace latte

@@ -1,0 +1,48 @@
+#include "core/exp_lut.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace latte {
+
+ExpLut::ExpLut(std::size_t entries) {
+  if (entries < 2) {
+    throw std::invalid_argument("ExpLut: need at least 2 entries");
+  }
+  table_.resize(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    table_[i] = std::exp2(static_cast<float>(i) /
+                          static_cast<float>(entries));
+  }
+}
+
+float ExpLut::Eval(float x) const {
+  constexpr float kLog2E = 1.4426950408889634f;
+  const float clamped = std::clamp(x, -87.f, 87.f);
+  const float y = clamped * kLog2E;
+  const float fi = std::floor(y);
+  const float f = y - fi;  // in [0, 1)
+  const auto n = static_cast<float>(table_.size());
+  const float pos = f * n;
+  const auto idx = static_cast<std::size_t>(pos);
+  const float frac = pos - static_cast<float>(idx);
+  // Linear interpolation between adjacent table entries; the upper
+  // neighbour of the last slot is 2^1 = 2.
+  const float lo = table_[idx];
+  const float hi = idx + 1 < table_.size() ? table_[idx + 1] : 2.f;
+  const float pow2f = lo + (hi - lo) * frac;
+  return std::ldexp(pow2f, static_cast<int>(fi));
+}
+
+double ExpLut::MaxRelativeError() const {
+  double worst = 0.0;
+  for (double x = -20.0; x <= 20.0; x += 1e-3) {
+    const double ref = std::exp(x);
+    const double got = Eval(static_cast<float>(x));
+    worst = std::max(worst, std::fabs(got - ref) / ref);
+  }
+  return worst;
+}
+
+}  // namespace latte

@@ -1,0 +1,42 @@
+#pragma once
+// Hardware exponent unit: piecewise-linear e^x lookup table.
+//
+// Fig 2(a) places an "e^x LUT" inside Stage 2.2's fused datapath: the
+// exponent of the fused score kernel is evaluated from an on-chip table
+// instead of a floating-point core.  We model the standard decomposition
+//
+//   e^x = 2^(x * log2(e)) = 2^i * 2^f,   i = floor(y), f = y - i,
+//
+// where 2^f over f in [0, 1) comes from a table with linear interpolation
+// and 2^i is an exponent add.  Inputs are saturated to [-87, 87] like the
+// hardware (and like the clamp in the fused kernel).
+
+#include <cstddef>
+#include <vector>
+
+namespace latte {
+
+/// Piecewise-linear exp approximation backed by a 2^f table.
+class ExpLut {
+ public:
+  /// `entries` is the table resolution for f in [0, 1); 64 entries give
+  /// ~1e-4 relative error, plenty below the 8-bit datapath noise.
+  explicit ExpLut(std::size_t entries = 64);
+
+  /// Approximate e^x with saturation to [-87, 87].
+  float Eval(float x) const;
+
+  /// Largest relative error against std::exp over [-20, 20], measured on a
+  /// dense grid -- used by tests and for documentation.
+  double MaxRelativeError() const;
+
+  std::size_t entries() const { return table_.size(); }
+
+  /// BRAM bytes this table occupies (4 bytes per entry, double-pumped).
+  double BramBytes() const { return 2.0 * 4.0 * static_cast<double>(table_.size()); }
+
+ private:
+  std::vector<float> table_;  // 2^f at f = i / entries
+};
+
+}  // namespace latte

@@ -1,0 +1,80 @@
+#include "core/fused_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace latte {
+
+FusedScoreResult FusedScoreKernel(std::span<const float> q_row,
+                                  const MatrixF& ks,
+                                  const FusedKernelConfig& cfg) {
+  if (ks.rows() > 0 && ks.cols() != q_row.size()) {
+    throw std::invalid_argument("FusedScoreKernel: dim mismatch");
+  }
+  if (!cfg.masked.empty() && cfg.masked.size() != ks.rows()) {
+    throw std::invalid_argument("FusedScoreKernel: mask length mismatch");
+  }
+  if (cfg.unroll == 0) {
+    throw std::invalid_argument("FusedScoreKernel: unroll must be >= 1");
+  }
+
+  FusedScoreResult res;
+  res.exp_scores.resize(ks.rows());
+  const std::size_t d = q_row.size();
+
+  // Fig 4 loop nest: outer over reduction dim i, inner over candidates j,
+  // II=1 with UNROLL factor p on the inner loop.  The tail (scale, mask,
+  // exp) runs when i reaches the last reduction iteration.  Functionally we
+  // keep the per-candidate accumulator across the fused iterations.
+  for (std::size_t j = 0; j < ks.rows(); ++j) {
+    auto kj = ks.row(j);
+    float acc = 0.f;
+    for (std::size_t i = 0; i < d; ++i) {
+      acc += q_row[i] * kj[i];
+      if (i + 1 == d) {
+        // -- fused tail, same loop iteration --
+        acc *= cfg.scale;
+        if (!cfg.masked.empty() && cfg.masked[j]) {
+          // Masked candidates contribute exactly zero weight (the hardware
+          // gates the exp LUT output rather than feeding it -inf).
+          res.exp_scores[j] = 0.f;
+        } else {
+          // Saturating exponent: the hardware exp LUT clamps its input.
+          const float arg = std::clamp(acc, -80.f, 80.f);
+          const float e =
+              cfg.exp_lut != nullptr ? cfg.exp_lut->Eval(arg) : std::exp(arg);
+          res.exp_scores[j] = e;
+          res.sum += e;
+        }
+      }
+    }
+  }
+
+  // Cycle model: the inner reduction is unrolled by p, II=1, so one
+  // candidate costs ceil(d/p) cycles; candidates stream back to back.
+  const std::size_t per_cand = (d + cfg.unroll - 1) / cfg.unroll;
+  res.cycles = per_cand * ks.rows();
+  return res;
+}
+
+std::vector<float> WeightedContext(const FusedScoreResult& scores,
+                                   const MatrixF& vs) {
+  if (scores.exp_scores.size() != vs.rows()) {
+    throw std::invalid_argument("WeightedContext: candidate count mismatch");
+  }
+  std::vector<float> z(vs.cols(), 0.f);
+  for (std::size_t j = 0; j < vs.rows(); ++j) {
+    const float w = scores.exp_scores[j];
+    if (w == 0.f) continue;
+    auto vj = vs.row(j);
+    for (std::size_t c = 0; c < vs.cols(); ++c) z[c] += w * vj[c];
+  }
+  if (scores.sum > 0.0) {
+    const float inv = static_cast<float>(1.0 / scores.sum);
+    for (auto& x : z) x *= inv;
+  }
+  return z;
+}
+
+}  // namespace latte

@@ -1,0 +1,51 @@
+#pragma once
+// The fused attention score kernel of Fig 4 (Stage 2.2).
+//
+// The FPGA fuses the exact score dot-product, the 1/sqrt(d) scaling, the
+// attention mask and the exponentiation into a single II=1 loop: the
+// reduction runs for Ks.dim2 iterations and the scale/mask/exp "tail"
+// executes on the last iteration only, so the fused loop has the same trip
+// count as the plain dot-product loop.  `unroll` mirrors the HLS UNROLL
+// factor p; it only affects the reported cycle estimate, never the values.
+
+#include <cstdint>
+#include <limits>
+
+#include "core/exp_lut.hpp"
+#include "tensor/matrix.hpp"
+
+namespace latte {
+
+/// Output of the fused kernel for one query row.
+struct FusedScoreResult {
+  std::vector<float> exp_scores;  ///< e^{mask(q.k_j / sqrt(d))} per candidate
+  double sum = 0.0;               ///< running sum of exp_scores
+  std::size_t cycles = 0;         ///< modeled II=1 cycles: ceil(d/p) * |cand|
+};
+
+/// Parameters of the fused loop.
+struct FusedKernelConfig {
+  float scale = 1.0f;   ///< typically 1/sqrt(d)
+  unsigned unroll = 8;  ///< HLS UNROLL factor p (cycle model only)
+  /// Candidates j with masked[j] true receive score -inf before exp (the
+  /// padding / causal mask of Fig 1(b)).  Empty means nothing masked.
+  std::vector<bool> masked;
+  /// If set, exponentiation goes through the hardware e^x LUT of Fig 2(a)
+  /// instead of std::exp (non-owning; must outlive the call).
+  const ExpLut* exp_lut = nullptr;
+};
+
+/// Runs the fused loop for one query row against gathered candidates.
+/// `q_row` has length d; `ks` is (|candidates| x d) of gathered key rows.
+/// Exponent arguments are clamped to +-80 to keep exp() finite, mirroring
+/// the saturating fixed-point exponent LUT of the hardware.
+FusedScoreResult FusedScoreKernel(std::span<const float> q_row,
+                                  const MatrixF& ks,
+                                  const FusedKernelConfig& cfg);
+
+/// Stage 2.3: Z_i = (sum_j exp_scores[j] * V_j) / sum (Fig 2(a)).
+/// `vs` is (|candidates| x d_v); returns the context row of length d_v.
+std::vector<float> WeightedContext(const FusedScoreResult& scores,
+                                   const MatrixF& vs);
+
+}  // namespace latte

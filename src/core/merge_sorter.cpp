@@ -1,0 +1,64 @@
+#include "core/merge_sorter.hpp"
+
+#include <stdexcept>
+
+namespace latte {
+namespace {
+
+// Same ordering as the behavioural StreamingTopK: higher score first, ties
+// toward the earlier (smaller) index.
+bool Better(const ScoredIndex& a, const ScoredIndex& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.index < b.index;
+}
+
+}  // namespace
+
+SystolicTopKSorter::SystolicTopKSorter(std::size_t k) : cells_(k) {
+  if (k == 0) {
+    throw std::invalid_argument("SystolicTopKSorter: k must be >= 1");
+  }
+}
+
+void SystolicTopKSorter::Clock(std::int32_t score, std::uint32_t index) {
+  ++cycles_;
+  compare_exchanges_ += cells_.size();  // every cell fires each cycle
+  ScoredIndex moving{score, index};
+  bool carrying = true;
+  for (auto& cell : cells_) {
+    if (!carrying) break;  // bubble propagates; remaining cells hold
+    if (!cell.occupied) {
+      cell.value = moving;
+      cell.occupied = true;
+      carrying = false;
+    } else if (Better(moving, cell.value)) {
+      std::swap(moving, cell.value);  // keep the better, forward the loser
+    }
+  }
+}
+
+std::vector<ScoredIndex> SystolicTopKSorter::Drain() const {
+  std::vector<ScoredIndex> out;
+  out.reserve(cells_.size());
+  for (const auto& cell : cells_) {
+    if (cell.occupied) out.push_back(cell.value);
+  }
+  return out;
+}
+
+void SystolicTopKSorter::Reset() {
+  for (auto& cell : cells_) cell.occupied = false;
+  cycles_ = 0;
+  compare_exchanges_ = 0;
+}
+
+std::vector<ScoredIndex> SystolicTopK(std::span<const std::int32_t> row,
+                                      std::size_t k) {
+  SystolicTopKSorter sorter(k);
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    sorter.Clock(row[j], static_cast<std::uint32_t>(j));
+  }
+  return sorter.Drain();
+}
+
+}  // namespace latte

@@ -1,0 +1,60 @@
+#pragma once
+// Systolic Top-k sorter: a hardware-accurate model of the II=1 streaming
+// merge-sort network of paper reference [29].
+//
+// The network is a linear array of k compare-exchange cells.  Every clock
+// cycle one new (score, index) pair enters cell 0; each cell keeps the
+// better of (its resident, the incoming value) and forwards the loser to
+// the next cell.  All k cells fire in parallel, so the structure sustains
+// one element per cycle (II=1) with a k-cycle drain latency, and after all
+// n elements have streamed through, the cells hold the Top-k in sorted
+// order.  `StreamingTopK` (topk.hpp) is the behavioural model; tests assert
+// the two produce identical results so either can back the At-Sel stage.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/topk.hpp"
+
+namespace latte {
+
+/// Cycle-accurate systolic Top-k sorting network.
+class SystolicTopKSorter {
+ public:
+  /// Requires k >= 1.  Builds a k-cell array.
+  explicit SystolicTopKSorter(std::size_t k);
+
+  /// One clock: stream an element into the array.
+  void Clock(std::int32_t score, std::uint32_t index);
+
+  /// Cell contents, best first; only the first min(k, pushed) entries are
+  /// valid Top-k results.
+  std::vector<ScoredIndex> Drain() const;
+
+  /// Clock count so far (== elements streamed; II = 1).
+  std::size_t cycles() const { return cycles_; }
+
+  /// Comparator firings so far (k per cycle; all cells fire in parallel).
+  std::size_t compare_exchanges() const { return compare_exchanges_; }
+
+  /// Pipeline drain latency in cycles (the array depth).
+  std::size_t drain_latency() const { return cells_.size(); }
+
+  /// Clears the array for the next query row.
+  void Reset();
+
+ private:
+  struct Cell {
+    ScoredIndex value{};
+    bool occupied = false;
+  };
+  std::vector<Cell> cells_;
+  std::size_t cycles_ = 0;
+  std::size_t compare_exchanges_ = 0;
+};
+
+/// Convenience: Top-k of a row through the systolic network.
+std::vector<ScoredIndex> SystolicTopK(std::span<const std::int32_t> row,
+                                      std::size_t k);
+
+}  // namespace latte

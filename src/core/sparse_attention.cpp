@@ -1,0 +1,102 @@
+#include "core/sparse_attention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace latte {
+namespace {
+
+/// Gathers the candidate rows of `src` into a dense (|idx| x d) block
+/// (Stage 2.1: data loading from the Top-k index list).
+MatrixF GatherRows(const MatrixF& src, std::span<const std::uint32_t> idx) {
+  MatrixF out(idx.size(), src.cols());
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    auto s = src.row(idx[r]);
+    auto d = out.row(r);
+    for (std::size_t c = 0; c < s.size(); ++c) d[c] = s[c];
+  }
+  return out;
+}
+
+}  // namespace
+
+MatrixF SparseAttention(const MatrixF& q, const MatrixF& k, const MatrixF& v,
+                        const SparseAttentionConfig& cfg,
+                        SparseAttentionStats* stats) {
+  if (q.cols() != k.cols() || k.rows() != v.rows()) {
+    throw std::invalid_argument("SparseAttention: shape mismatch");
+  }
+  const std::size_t n = q.rows();
+  const std::size_t d = q.cols();
+
+  // Stage 1: quantized candidate pre-selection.
+  SelectorConfig sel_cfg;
+  sel_cfg.top_k = cfg.top_k;
+  sel_cfg.bits = cfg.bits;
+  sel_cfg.valid_len = cfg.valid_len;
+  SelectionResult sel = SelectCandidates(q, k, sel_cfg);
+
+  MatrixF out(n, v.cols());
+  FusedKernelConfig fk;
+  fk.scale = 1.f / std::sqrt(static_cast<float>(d));
+  fk.unroll = cfg.unroll;
+
+  std::size_t fused_cycles = 0;
+  std::size_t exact_macs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& cand = sel.candidates[i];
+    // Stage 2.1: gather Ks/Vs for this query row.
+    const MatrixF ks = GatherRows(k, cand);
+    const MatrixF vs = GatherRows(v, cand);
+    // Stage 2.2: fused exact score computation (Fig 4).
+    const FusedScoreResult fs = FusedScoreKernel(q.row(i), ks, fk);
+    fused_cycles += fs.cycles;
+    exact_macs += cand.size() * d * 2;  // scores + context
+    // Stage 2.3: weighted context.
+    const std::vector<float> z = WeightedContext(fs, vs);
+    auto dst = out.row(i);
+    for (std::size_t c = 0; c < z.size(); ++c) dst[c] = z[c];
+  }
+
+  if (stats != nullptr) {
+    stats->n = n;
+    const std::size_t valid =
+        cfg.valid_len == 0 ? k.rows()
+                           : std::min<std::size_t>(cfg.valid_len, k.rows());
+    stats->selected_per_row = std::min<std::size_t>(cfg.top_k, valid);
+    stats->lut_multiplies = sel.lut_multiplies;
+    stats->sorter_cycles = sel.sorter_cycles;
+    stats->fused_cycles = fused_cycles;
+    stats->exact_macs = exact_macs;
+    stats->candidates = std::move(sel.candidates);
+  }
+  return out;
+}
+
+AttentionFn MakeSparseAttentionFn(SparseAttentionConfig cfg) {
+  return [cfg](const MatrixF& q, const MatrixF& k, const MatrixF& v) {
+    return SparseAttention(q, k, v, cfg, nullptr);
+  };
+}
+
+MatrixF AttentionOnCandidates(
+    const MatrixF& q, const MatrixF& k, const MatrixF& v,
+    const std::vector<std::vector<std::uint32_t>>& candidates) {
+  if (candidates.size() != q.rows()) {
+    throw std::invalid_argument("AttentionOnCandidates: row count mismatch");
+  }
+  MatrixF out(q.rows(), v.cols());
+  FusedKernelConfig fk;
+  fk.scale = 1.f / std::sqrt(static_cast<float>(q.cols()));
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    const MatrixF ks = GatherRows(k, candidates[i]);
+    const MatrixF vs = GatherRows(v, candidates[i]);
+    const FusedScoreResult fs = FusedScoreKernel(q.row(i), ks, fk);
+    const std::vector<float> z = WeightedContext(fs, vs);
+    auto dst = out.row(i);
+    for (std::size_t c = 0; c < z.size(); ++c) dst[c] = z[c];
+  }
+  return out;
+}
+
+}  // namespace latte

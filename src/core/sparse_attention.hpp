@@ -1,0 +1,62 @@
+#pragma once
+// The paper's primary contribution: length-linear sparse attention via
+// quantized candidate pre-selection (Section 3).
+//
+// Pipeline per head (Fig 3):
+//   1. quantize Q, K to 1- or 4-bit codes              (Stage 1, At-Sel)
+//   2. approximate scores Q'.K'^T via product LUT      (Stage 1, At-Sel)
+//   3. streaming Top-k per query row                   (Stage 1, At-Sel)
+//   4. gather Ks/Vs candidates                         (Stage 2.1, load)
+//   5. fused exact score + scale + mask + exp          (Stage 2.2, Fig 4)
+//   6. Z = S.V / sum(S)                                (Stage 2.3)
+//
+// Complexity: O(n * k * d) full-precision work instead of O(n^2 * d); the
+// remaining O(n^2 * d) pre-selection runs on 1-bit codes in LUT fabric.
+
+#include "core/candidate_selector.hpp"
+#include "core/fused_kernel.hpp"
+#include "nn/attention.hpp"
+
+namespace latte {
+
+/// Configuration of the sparse attention operator.
+struct SparseAttentionConfig {
+  std::size_t top_k = 30;  ///< candidates per query (k <= n degenerates dense)
+  int bits = 1;            ///< pre-selection quantization width (1 or 4)
+  unsigned unroll = 8;     ///< fused-kernel UNROLL factor (cycle model only)
+  /// Padding mask: keys at index >= valid_len are never attended
+  /// (0 = all keys valid).
+  std::size_t valid_len = 0;
+};
+
+/// Execution statistics for one forward call, consumed by the metrics and
+/// timing layers.
+struct SparseAttentionStats {
+  std::size_t n = 0;                ///< query/key count
+  std::size_t selected_per_row = 0; ///< min(top_k, n)
+  std::size_t lut_multiplies = 0;   ///< quantized score LUT work
+  std::size_t sorter_cycles = 0;    ///< streaming Top-k cycles
+  std::size_t fused_cycles = 0;     ///< Stage 2.2 cycles
+  std::size_t exact_macs = 0;       ///< full-precision MACs (score + context)
+  /// Candidates per query row, for fidelity metrics.
+  std::vector<std::vector<std::uint32_t>> candidates;
+};
+
+/// Sparse attention for one head.
+/// q, k, v are (n x d); the result is (n x d), shape-compatible with
+/// DenseAttention.  If stats != nullptr the execution statistics are
+/// written there.
+MatrixF SparseAttention(const MatrixF& q, const MatrixF& k, const MatrixF& v,
+                        const SparseAttentionConfig& cfg,
+                        SparseAttentionStats* stats = nullptr);
+
+/// Adapts SparseAttention to the encoder's pluggable AttentionFn.
+AttentionFn MakeSparseAttentionFn(SparseAttentionConfig cfg);
+
+/// Dense attention restricted to a given candidate set (oracle for tests:
+/// sparse attention with exact Top-k candidates must match this).
+MatrixF AttentionOnCandidates(
+    const MatrixF& q, const MatrixF& k, const MatrixF& v,
+    const std::vector<std::vector<std::uint32_t>>& candidates);
+
+}  // namespace latte

@@ -1,0 +1,53 @@
+#include "fpga/design_usage.hpp"
+
+#include <algorithm>
+
+namespace latte {
+
+DesignUsage EstimateDesignUsage(const ModelConfig& model,
+                                const FpgaSpec& spec,
+                                const DesignUsageConfig& cfg) {
+  DesignUsage u;
+  const double h = static_cast<double>(model.encoder.hidden);
+  const double f = static_cast<double>(model.encoder.ffn());
+  const double heads = static_cast<double>(model.encoder.heads);
+  const double n_max = static_cast<double>(cfg.n_max);
+  const double k = static_cast<double>(cfg.top_k);
+
+  // DSP datapath: the planner hands essentially the whole budget to the
+  // three stages; what matters for the fit check is that the datapath is
+  // sized to the budget, not beyond it.
+  u.dsp_datapath = spec.dsp;
+
+  // At-Sel LUT fabric: each 1-bit MAC lane is an XNOR + popcount slice
+  // (~4 LUTs); each systolic sorter cell is a compare-exchange on
+  // (score, index) pairs (~60 LUTs); one 256-entry product table per lane
+  // group amortizes to ~1 LUT/lane as distributed RAM.
+  u.lut_atsel = 4.0 * static_cast<double>(cfg.lut_mac_lanes) +
+                60.0 * k * static_cast<double>(cfg.sorter_instances);
+  // Control: Fig 2(b) state machines, crossbars, FIFO glue -- a few
+  // thousand LUTs per stage.
+  u.lut_control = 3.0 * 5000.0;
+
+  // BRAM: ping-pong activation buffers between the two stage boundaries
+  // (n_max x h each, double-buffered), weight tiles for the widest matmul
+  // (a 512 x h tile of FFN1 weights per stage instance), the Top-k
+  // in-flight FIFO (the full result set round-trips through HBM, Section
+  // 4.1 -- only a 64-row window stays on chip), and the exp table.
+  (void)n_max;
+  u.bram_double_buffers = 2.0 * DoubleBufferBytes(cfg.n_max,
+                                                  model.encoder.hidden) *
+                          cfg.element_bytes;
+  u.bram_weight_tiles = 512.0 * std::max(h, f) * cfg.element_bytes * 3.0;
+  constexpr double kTopkFifoRows = 64.0;
+  u.bram_topk_fifo = kTopkFifoRows * k * 8.0 * heads;
+  u.bram_exp_lut = 2.0 * 4.0 * 64.0;
+
+  u.total.dsp = u.dsp_datapath;
+  u.total.lut = u.lut_atsel + u.lut_control;
+  u.total.bram_bytes = u.bram_double_buffers + u.bram_weight_tiles +
+                       u.bram_topk_fifo + u.bram_exp_lut;
+  return u;
+}
+
+}  // namespace latte

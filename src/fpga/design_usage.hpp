@@ -1,0 +1,41 @@
+#pragma once
+// Whole-design resource estimation: does the configured accelerator
+// actually fit SLR0?
+//
+// Accounts for the pieces Fig 2(a) draws: the DSP datapath of the three
+// coarse stages, the LUT fabric of At-Sel (product tables + systolic
+// sorter cells), the e^x LUT, the inter-stage ping-pong buffers, the
+// per-stage weight/activation tiles, and the Top-k FIFO storage.
+
+#include "fpga/resources.hpp"
+#include "model/config.hpp"
+
+namespace latte {
+
+/// Sizing knobs of the design whose usage is being estimated.
+struct DesignUsageConfig {
+  std::size_t top_k = 30;
+  std::size_t n_max = 821;       ///< longest sequence the buffers must hold
+  std::size_t sorter_instances = 12;  ///< parallel Top-k sorters (per head)
+  std::size_t lut_mac_lanes = 4096;   ///< 1-bit MAC lanes in At-Sel
+  double element_bytes = 1.0;         ///< 8-bit datapath
+};
+
+/// Itemized estimate; `total` is what FitsIn() is checked against.
+struct DesignUsage {
+  ResourceUsage total;
+  double dsp_datapath = 0;        ///< stage MAC lanes
+  double lut_atsel = 0;           ///< product LUTs + sorter cells
+  double lut_control = 0;         ///< state machines, crossbars, FIFO glue
+  double bram_double_buffers = 0; ///< inter-stage ping-pong activations
+  double bram_weight_tiles = 0;   ///< streamed weight tile storage
+  double bram_topk_fifo = 0;      ///< Top-k (idx,val) pairs in flight
+  double bram_exp_lut = 0;
+};
+
+/// Estimates the usage of the length-aware design for one model on `spec`.
+DesignUsage EstimateDesignUsage(const ModelConfig& model,
+                                const FpgaSpec& spec,
+                                const DesignUsageConfig& cfg = {});
+
+}  // namespace latte

@@ -1,0 +1,83 @@
+#include "fpga/hbm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace latte {
+
+double HbmChannelBandwidth(const FpgaSpec& spec) {
+  return spec.SustainedHbm() / static_cast<double>(spec.hbm_channels);
+}
+
+std::vector<std::size_t> ApportionChannels(
+    const FpgaSpec& spec, std::span<const double> demand_bytes) {
+  const std::size_t total = spec.hbm_channels;
+  std::vector<std::size_t> out(demand_bytes.size(), 0);
+
+  double demand_sum = 0;
+  std::size_t active = 0;
+  for (double d : demand_bytes) {
+    if (d < 0) {
+      throw std::invalid_argument("ApportionChannels: negative demand");
+    }
+    if (d > 0) {
+      ++active;
+      demand_sum += d;
+    }
+  }
+  if (active == 0) return out;
+  if (active > total) {
+    throw std::invalid_argument(
+        "ApportionChannels: more active streams than channels");
+  }
+
+  // Floor of the proportional share, at least 1 per active stream.
+  std::vector<double> remainder(demand_bytes.size(), 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < demand_bytes.size(); ++i) {
+    if (demand_bytes[i] <= 0) continue;
+    const double exact =
+        static_cast<double>(total) * demand_bytes[i] / demand_sum;
+    out[i] = std::max<std::size_t>(1, static_cast<std::size_t>(exact));
+    remainder[i] = exact - std::floor(exact);
+    assigned += out[i];
+  }
+  // Hand out any remaining channels by largest remainder; claw back from
+  // the smallest remainders if the at-least-one rule over-assigned.
+  while (assigned < total) {
+    std::size_t best = 0;
+    double best_r = -1;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (demand_bytes[i] > 0 && remainder[i] > best_r) {
+        best_r = remainder[i];
+        best = i;
+      }
+    }
+    ++out[best];
+    remainder[best] = -1;  // consumed
+    ++assigned;
+  }
+  while (assigned > total) {
+    // Take from the stream with the most channels (never below 1).
+    std::size_t victim = 0;
+    std::size_t most = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i] > most) {
+        most = out[i];
+        victim = i;
+      }
+    }
+    if (most <= 1) break;  // cannot shrink further
+    --out[victim];
+    --assigned;
+  }
+  return out;
+}
+
+double StreamBandwidth(const FpgaSpec& spec, std::size_t channels) {
+  return HbmChannelBandwidth(spec) * static_cast<double>(channels);
+}
+
+}  // namespace latte

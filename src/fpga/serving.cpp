@@ -1,0 +1,105 @@
+#include "fpga/serving.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace latte {
+namespace {
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+ServingReport SimulateServing(const ModelConfig& model,
+                              const DatasetSpec& dataset,
+                              const ServingConfig& cfg) {
+  if (cfg.arrival_rate_rps <= 0) {
+    throw std::invalid_argument("SimulateServing: arrival rate must be > 0");
+  }
+  if (cfg.max_batch == 0 || cfg.requests == 0) {
+    throw std::invalid_argument("SimulateServing: empty scenario");
+  }
+
+  // Generate the request stream: exponential inter-arrival gaps and
+  // dataset-shaped lengths.
+  Rng rng(cfg.seed);
+  LengthSampler sampler(dataset);
+  struct Request {
+    double arrival;
+    std::size_t length;
+  };
+  std::vector<Request> stream;
+  stream.reserve(cfg.requests);
+  double t = 0;
+  for (std::size_t i = 0; i < cfg.requests; ++i) {
+    double u = rng.NextUniform();
+    if (u < 1e-300) u = 1e-300;
+    t += -std::log(u) / cfg.arrival_rate_rps;  // exponential gap
+    stream.push_back({t, sampler.Sample(rng)});
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(cfg.requests);
+  double device_free = 0;
+  double device_busy = 0;
+  std::size_t next = 0;
+  std::size_t batches = 0;
+
+  while (next < stream.size()) {
+    // The batch opens when the device is free and the first request is in.
+    const double open = std::max(device_free, stream[next].arrival);
+    const double deadline = open + cfg.batch_timeout_s;
+    // Admit requests that arrive before the deadline, up to capacity.
+    std::size_t end = next;
+    while (end < stream.size() && end - next < cfg.max_batch &&
+           stream[end].arrival <= deadline) {
+      ++end;
+    }
+    // The batch launches when its last admitted request has arrived (never
+    // before the device is free).
+    const double launch = std::max(open, stream[end - 1].arrival);
+
+    std::vector<std::size_t> lens;
+    lens.reserve(end - next);
+    for (std::size_t i = next; i < end; ++i) {
+      lens.push_back(stream[i].length);
+    }
+    const auto report = RunAccelerator(model, lens, cfg.accel);
+    const double done = launch + report.latency_s;
+    for (std::size_t i = next; i < end; ++i) {
+      latencies.push_back(done - stream[i].arrival);
+    }
+    device_busy += report.latency_s;
+    device_free = done;
+    next = end;
+    ++batches;
+  }
+
+  ServingReport rep;
+  rep.requests = cfg.requests;
+  rep.batches = batches;
+  rep.mean_batch_size =
+      static_cast<double>(cfg.requests) / static_cast<double>(batches);
+  double sum = 0;
+  for (double l : latencies) sum += l;
+  rep.mean_latency_s = sum / static_cast<double>(latencies.size());
+  std::sort(latencies.begin(), latencies.end());
+  rep.p50_latency_s = Percentile(latencies, 0.50);
+  rep.p95_latency_s = Percentile(latencies, 0.95);
+  rep.p99_latency_s = Percentile(latencies, 0.99);
+  const double span = device_free - stream.front().arrival;
+  rep.throughput_rps =
+      span > 0 ? static_cast<double>(cfg.requests) / span : 0;
+  rep.device_busy_frac = span > 0 ? device_busy / span : 0;
+  return rep;
+}
+
+}  // namespace latte

@@ -1,0 +1,47 @@
+#pragma once
+// Online serving simulation: Poisson arrivals, a batch former, and the
+// accelerator model as the backend device.
+//
+// The paper evaluates fixed batches (size 16); serving with a request
+// stream is the deployment scenario its introduction motivates (variable
+// lengths arriving continuously).  This module measures what the
+// length-aware design buys in *tail latency*: the padded-dense baseline
+// wastes device time on padding, queues grow, and p95/p99 explode earlier
+// as the arrival rate approaches saturation.
+
+#include "fpga/accelerator.hpp"
+#include "workload/dataset.hpp"
+
+namespace latte {
+
+/// Serving scenario knobs.
+struct ServingConfig {
+  double arrival_rate_rps = 50;   ///< Poisson arrival rate (requests/s)
+  std::size_t max_batch = 16;     ///< batch former capacity
+  double batch_timeout_s = 0.02;  ///< flush a partial batch after this wait
+  std::size_t requests = 512;     ///< simulated request count
+  std::uint64_t seed = 1;         ///< arrivals + lengths
+  AcceleratorConfig accel;        ///< backend device configuration
+};
+
+/// Aggregate serving metrics.
+struct ServingReport {
+  std::size_t requests = 0;
+  std::size_t batches = 0;
+  double mean_batch_size = 0;
+  double mean_latency_s = 0;   ///< arrival -> batch completion
+  double p50_latency_s = 0;
+  double p95_latency_s = 0;
+  double p99_latency_s = 0;
+  double throughput_rps = 0;   ///< completed requests / simulated span
+  double device_busy_frac = 0; ///< device utilization over the span
+};
+
+/// Simulates a request stream against the accelerator model.
+/// Lengths are sampled from the dataset; the baseline accelerator mode
+/// pads to `cfg.accel.baseline_pad_to` as usual.
+ServingReport SimulateServing(const ModelConfig& model,
+                              const DatasetSpec& dataset,
+                              const ServingConfig& cfg);
+
+}  // namespace latte

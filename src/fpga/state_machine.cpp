@@ -1,0 +1,38 @@
+#include "fpga/state_machine.hpp"
+
+namespace latte {
+
+std::string WorkingStateName(StageId stage) {
+  switch (stage) {
+    case StageId::kMmAtSel: return "StateMM";
+    case StageId::kAtComp:  return "StateAtten";
+    case StageId::kFdFwd:   return "StateFF";
+  }
+  return "?";
+}
+
+void StageStateMachine::Start(double t, std::size_t sequence,
+                              std::size_t layer) {
+  if (state_ != StageState::kIdle) {
+    throw std::logic_error("StageStateMachine::Start while Working");
+  }
+  state_ = StageState::kWorking;
+  started_at_ = t;
+  current_seq_ = sequence;
+  current_layer_ = layer;
+  log_.push_back({t, StageState::kWorking, sequence, layer});
+}
+
+void StageStateMachine::Finish(double t) {
+  if (state_ != StageState::kWorking) {
+    throw std::logic_error("StageStateMachine::Finish while Idle");
+  }
+  if (t < started_at_) {
+    throw std::logic_error("StageStateMachine::Finish: time moved backward");
+  }
+  state_ = StageState::kIdle;
+  busy_ += t - started_at_;
+  log_.push_back({t, StageState::kIdle, current_seq_, current_layer_});
+}
+
+}  // namespace latte

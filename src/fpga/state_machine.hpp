@@ -1,0 +1,78 @@
+#pragma once
+// The per-stage scheduling state machine of Fig 2(b).
+//
+// Each coarse stage is driven by a dedicated state machine with an Idle
+// state and one Working state (StateMM for Stage 1, StateAtten for Stage 2,
+// StateFF for Stage 3).  The machine leaves Idle when an input buffer is
+// ready and returns to Idle (or chains straight into the next sequence,
+// which is the bubble-free case) when the stage finishes.  The pipeline
+// simulator drives one machine per stage and the Gantt extraction reads the
+// recorded transitions.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace latte {
+
+/// Stage identity (Fig 2(a)).
+enum class StageId : std::uint8_t {
+  kMmAtSel = 0,  ///< Stage 1: linear transformation | At-Sel
+  kAtComp = 1,   ///< Stage 2: attention computation
+  kFdFwd = 2,    ///< Stage 3: feedforward
+};
+
+/// States of Fig 2(b).
+enum class StageState : std::uint8_t {
+  kIdle = 0,
+  kWorking = 1,  ///< StateMM / StateAtten / StateFF depending on StageId
+};
+
+/// Name of the Working state for a stage ("StateMM", "StateAtten",
+/// "StateFF") as labeled in Fig 2(b).
+std::string WorkingStateName(StageId stage);
+
+/// One recorded transition.
+struct StateTransition {
+  double time = 0;
+  StageState to = StageState::kIdle;
+  /// Sequence index the stage starts/finishes (valid for kWorking entries
+  /// and for the kIdle entry that closes it).
+  std::size_t sequence = 0;
+  std::size_t layer = 0;
+};
+
+/// The per-stage state machine.  Enforces legal transitions: Idle->Working
+/// on Start, Working->Idle on Finish; starting while working or finishing
+/// while idle throws std::logic_error.
+class StageStateMachine {
+ public:
+  explicit StageStateMachine(StageId id) : id_(id) {}
+
+  StageId id() const { return id_; }
+  StageState state() const { return state_; }
+
+  /// Begins processing `sequence` of `layer` at time t.
+  void Start(double t, std::size_t sequence, std::size_t layer);
+
+  /// Finishes the current work item at time t.
+  void Finish(double t);
+
+  /// Busy time accumulated so far.
+  double busy_time() const { return busy_; }
+
+  /// Full transition log (chronological).
+  const std::vector<StateTransition>& log() const { return log_; }
+
+ private:
+  StageId id_;
+  StageState state_ = StageState::kIdle;
+  double busy_ = 0;
+  double started_at_ = 0;
+  std::size_t current_seq_ = 0;
+  std::size_t current_layer_ = 0;
+  std::vector<StateTransition> log_;
+};
+
+}  // namespace latte

@@ -1,0 +1,113 @@
+#include "fpga/timing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fpga/hbm.hpp"
+
+namespace latte {
+
+double StageTimingModel::Seconds(double n) const {
+  const double t_dsp = flops.Eval(n) / (2.0 * dsp * freq_hz);
+  const double t_lut = lut_ops.Eval(n) / (lut_lanes * freq_hz);
+  const double t_mem = offchip_bytes.Eval(n) / hbm_bytes_per_s;
+  return std::max({t_dsp, t_lut, t_mem});
+}
+
+int StageTimingModel::BindingRoof(double n) const {
+  const double t_dsp = flops.Eval(n) / (2.0 * dsp * freq_hz);
+  const double t_lut = lut_ops.Eval(n) / (lut_lanes * freq_hz);
+  const double t_mem = offchip_bytes.Eval(n) / hbm_bytes_per_s;
+  if (t_dsp >= t_lut && t_dsp >= t_mem) return 0;
+  if (t_lut >= t_mem) return 1;
+  return 2;
+}
+
+std::vector<std::vector<OpSpec>> GroupByStageHint(
+    const std::vector<OpSpec>& ops) {
+  std::vector<std::vector<OpSpec>> groups(3);
+  for (const auto& op : ops) {
+    if (op.stage_hint < 1 || op.stage_hint > 3) {
+      throw std::out_of_range("GroupByStageHint: stage_hint outside 1..3");
+    }
+    groups[static_cast<std::size_t>(op.stage_hint - 1)].push_back(op);
+  }
+  std::erase_if(groups, [](const auto& g) { return g.empty(); });
+  return groups;
+}
+
+std::vector<StageTimingModel> RestrictToAttention(
+    const std::vector<std::vector<OpSpec>>& stage_ops,
+    const std::vector<StageTimingModel>& full_models, double element_bytes) {
+  if (stage_ops.size() != full_models.size()) {
+    throw std::invalid_argument("RestrictToAttention: size mismatch");
+  }
+  std::vector<StageTimingModel> out;
+  for (std::size_t k = 0; k < stage_ops.size(); ++k) {
+    StageTimingModel m = full_models[k];  // keep dsp / lut / bw shares
+    m.flops = {};
+    m.lut_ops = {};
+    m.offchip_bytes = {};
+    bool any = false;
+    for (const auto& op : stage_ops[k]) {
+      if (!op.in_attention) continue;
+      m.flops = m.flops + op.flops;
+      m.lut_ops = m.lut_ops + op.lut_ops;
+      m.offchip_bytes = m.offchip_bytes + op.offchip_elems;
+      any = true;
+    }
+    m.offchip_bytes.quad *= element_bytes;
+    m.offchip_bytes.lin *= element_bytes;
+    m.offchip_bytes.cst *= element_bytes;
+    if (any) out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<StageTimingModel> BuildStageTimings(
+    const std::vector<std::vector<OpSpec>>& stage_ops, const FpgaSpec& spec,
+    double s_avg, double element_bytes) {
+  if (s_avg <= 0) {
+    throw std::invalid_argument("BuildStageTimings: s_avg must be positive");
+  }
+  std::vector<StageTimingModel> models(stage_ops.size());
+  double total_flops = 0, total_lut = 0, total_traffic = 0;
+  for (std::size_t k = 0; k < stage_ops.size(); ++k) {
+    auto& m = models[k];
+    for (const auto& op : stage_ops[k]) {
+      m.flops = m.flops + op.flops;
+      m.lut_ops = m.lut_ops + op.lut_ops;
+      m.offchip_bytes = m.offchip_bytes + op.offchip_elems;
+    }
+    // Convert traffic elements to bytes.
+    m.offchip_bytes.quad *= element_bytes;
+    m.offchip_bytes.lin *= element_bytes;
+    m.offchip_bytes.cst *= element_bytes;
+    total_flops += m.flops.Eval(s_avg);
+    total_lut += m.lut_ops.Eval(s_avg);
+    total_traffic += m.offchip_bytes.Eval(s_avg);
+  }
+  // HBM pseudo-channels are bound to stages as whole units at design time.
+  std::vector<double> demand(models.size());
+  for (std::size_t k = 0; k < models.size(); ++k) {
+    demand[k] = models[k].offchip_bytes.Eval(s_avg);
+  }
+  const auto channels = ApportionChannels(spec, demand);
+
+  for (std::size_t k = 0; k < models.size(); ++k) {
+    auto& m = models[k];
+    m.freq_hz = spec.freq_hz;
+    const double fshare =
+        total_flops > 0 ? m.flops.Eval(s_avg) / total_flops : 0.0;
+    const double lshare =
+        total_lut > 0 ? m.lut_ops.Eval(s_avg) / total_lut : 0.0;
+    m.dsp = std::max(1.0, spec.dsp * fshare);
+    // One LUT lane = one ultra-low-bit MAC (XNOR + popcount slice) or one
+    // sorter compare, ~4 LUTs each; the budget buys spec.lut/4 lanes.
+    m.lut_lanes = std::max(1.0, (spec.lut / 4.0) * lshare);
+    m.hbm_bytes_per_s = std::max(1.0, StreamBandwidth(spec, channels[k]));
+  }
+  return models;
+}
+
+}  // namespace latte

@@ -1,0 +1,64 @@
+#pragma once
+// Analytical stage timing model.
+//
+// A coarse stage processing one sequence of length n takes
+//
+//   T(n) = max( flops(n)   / (2 * dsp * freq),        -- DSP compute roof
+//               lut_ops(n) / (lut_lanes * freq),      -- LUT fabric roof
+//               bytes(n)   / sustained_hbm_share )    -- memory roof
+//
+// i.e. compute and communication fully overlap within a stage (Section 4.2:
+// "The communication and computation are overlapped with each other through
+// coarse-grained pipeline and data prefetching"); the slower of the roofs
+// wins.  This is the same analytical performance model the paper uses to
+// size its design.
+
+#include <vector>
+
+#include "fpga/resources.hpp"
+#include "nn/op_cost.hpp"
+
+namespace latte {
+
+/// Timing model of one coarse pipeline stage.
+struct StageTimingModel {
+  CostPoly flops;          ///< summed over member operators
+  CostPoly lut_ops;
+  CostPoly offchip_bytes;  ///< traffic in bytes (elements * element size)
+  double dsp = 1;          ///< DSP slices granted to this stage
+  double lut_lanes = 1;    ///< parallel LUT-op lanes granted
+  double hbm_bytes_per_s = 1;  ///< HBM share granted
+  double freq_hz = 200e6;
+
+  /// Seconds to process one sequence of length n through this stage.
+  double Seconds(double n) const;
+
+  /// Which roof binds at length n: 0 = DSP, 1 = LUT, 2 = memory.
+  int BindingRoof(double n) const;
+};
+
+/// Builds stage timing models from a stage partition.
+///
+/// DSPs are split across stages proportionally to per-token FLOPs at
+/// `s_avg`; LUT lanes proportionally to LUT work; HBM bandwidth
+/// proportionally to traffic.  `element_bytes` converts traffic elements to
+/// bytes (1 for the 8-bit datapath).
+std::vector<StageTimingModel> BuildStageTimings(
+    const std::vector<std::vector<OpSpec>>& stage_ops, const FpgaSpec& spec,
+    double s_avg, double element_bytes = 1.0);
+
+/// Groups an operator list by stage_hint (1..3) -- the Fig 2(a) partition.
+std::vector<std::vector<OpSpec>> GroupByStageHint(
+    const std::vector<OpSpec>& ops);
+
+/// Timing models for the self-attention portion only, keeping each stage's
+/// resource allocation exactly as the full design fixed it at synthesis
+/// time (the hardware does not re-tune when we time a sub-workflow).
+/// `full_models[k]` must correspond to `stage_ops[k]`; stages without any
+/// attention work are dropped.
+std::vector<StageTimingModel> RestrictToAttention(
+    const std::vector<std::vector<OpSpec>>& stage_ops,
+    const std::vector<StageTimingModel>& full_models,
+    double element_bytes = 1.0);
+
+}  // namespace latte

@@ -1,0 +1,53 @@
+#pragma once
+// LATTE -- Length-Adaptive Transformer Engine.
+//
+// Umbrella header exposing the full public API: the sparse attention
+// operator (core), the transformer reference implementation (nn), the
+// scheduling algorithms (sched), the FPGA simulator (fpga), the baseline
+// platform models (platform), the workload generators (workload) and the
+// evaluation metrics (metrics).
+//
+// See README.md for a quickstart and DESIGN.md for the architecture.
+
+#include "core/atsel_unit.hpp"
+#include "core/candidate_selector.hpp"
+#include "core/exp_lut.hpp"
+#include "core/fused_kernel.hpp"
+#include "core/merge_sorter.hpp"
+#include "core/sparse_attention.hpp"
+#include "core/topk.hpp"
+#include "fpga/accelerator.hpp"
+#include "fpga/design_usage.hpp"
+#include "fpga/hbm.hpp"
+#include "fpga/pipeline_sim.hpp"
+#include "fpga/resources.hpp"
+#include "fpga/serving.hpp"
+#include "fpga/state_machine.hpp"
+#include "fpga/trace.hpp"
+#include "fpga/timing.hpp"
+#include "metrics/accuracy.hpp"
+#include "metrics/design_explorer.hpp"
+#include "metrics/energy.hpp"
+#include "metrics/fidelity.hpp"
+#include "metrics/report.hpp"
+#include "model/config.hpp"
+#include "model/inference.hpp"
+#include "nn/attention.hpp"
+#include "nn/encoder.hpp"
+#include "nn/linear.hpp"
+#include "nn/op_cost.hpp"
+#include "nn/ops.hpp"
+#include "nn/qlinear.hpp"
+#include "platform/platform.hpp"
+#include "sched/op_graph.hpp"
+#include "sched/resource_plan.hpp"
+#include "sched/stage_allocation.hpp"
+#include "tensor/fixed_point.hpp"
+#include "tensor/lut_multiply.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/quantize.hpp"
+#include "tensor/rng.hpp"
+#include "workload/batch.hpp"
+#include "workload/dataset.hpp"
+#include "workload/synthetic.hpp"

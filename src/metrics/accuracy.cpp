@@ -1,0 +1,34 @@
+#include "metrics/accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace latte {
+
+AccuracySensitivity SensitivityForDataset(const DatasetSpec& spec) {
+  AccuracySensitivity s;
+  if (spec.name == "RTE") {
+    s.scale = 95.0;  // entailment collapses fastest in Fig 6
+    s.gamma = 1.3;
+  } else if (spec.name.rfind("SQuAD", 0) == 0) {
+    s.scale = 110.0;  // span extraction needs the answer tokens attended
+    s.gamma = 1.45;
+  } else {  // MRPC
+    s.scale = 90.0;
+    s.gamma = 1.5;
+  }
+  return s;
+}
+
+double PredictedDrop(const DatasetSpec& spec, double retained_mass) {
+  const double lost = std::clamp(1.0 - retained_mass, 0.0, 1.0);
+  const AccuracySensitivity s = SensitivityForDataset(spec);
+  return s.scale * std::pow(lost, s.gamma);
+}
+
+double PredictedScore(const DatasetSpec& spec, double retained_mass) {
+  return std::max(0.0, spec.baseline_score -
+                           PredictedDrop(spec, retained_mass));
+}
+
+}  // namespace latte

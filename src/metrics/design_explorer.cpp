@@ -1,0 +1,93 @@
+#include "metrics/design_explorer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "metrics/accuracy.hpp"
+#include "metrics/fidelity.hpp"
+#include "workload/synthetic.hpp"
+
+namespace latte {
+
+std::vector<DesignPoint> ExplorationResult::ParetoFront() const {
+  std::vector<DesignPoint> front;
+  for (const auto& p : points) {
+    if (!p.feasible) continue;
+    bool dominated = false;
+    for (const auto& q : points) {
+      if (!q.feasible) continue;
+      const bool better_or_equal =
+          q.sequences_per_s >= p.sequences_per_s &&
+          q.predicted_drop_pct <= p.predicted_drop_pct;
+      const bool strictly_better =
+          q.sequences_per_s > p.sequences_per_s ||
+          q.predicted_drop_pct < p.predicted_drop_pct;
+      if (better_or_equal && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(p);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              return a.sequences_per_s > b.sequences_per_s;
+            });
+  return front;
+}
+
+ExplorationResult ExploreDesign(const ModelConfig& model,
+                                const DatasetSpec& dataset,
+                                const ExplorerConfig& cfg) {
+  if (cfg.k_candidates.empty() || cfg.bit_candidates.empty()) {
+    throw std::invalid_argument("ExploreDesign: empty candidate sets");
+  }
+  // One reference batch shared by every point: the comparison is apples to
+  // apples.
+  Rng rng(cfg.seed);
+  LengthSampler sampler(dataset);
+  const auto lens = sampler.SampleMany(rng, cfg.batch);
+  const auto wl = WorkloadForDataset(dataset, model.encoder.head_dim());
+
+  ExplorationResult res;
+  double best_rate = -1;
+  for (std::size_t k : cfg.k_candidates) {
+    for (int bits : cfg.bit_candidates) {
+      DesignPoint pt;
+      pt.top_k = k;
+      pt.bits = bits;
+
+      // Performance from the accelerator model.
+      AcceleratorConfig acc = cfg.accel;
+      acc.top_k = k;
+      const auto rep = RunAccelerator(model, lens, acc);
+      pt.latency_s = rep.latency_s;
+      pt.sequences_per_s = rep.SequencesPerSecond();
+
+      // Fidelity -> calibrated accuracy drop.
+      Rng frng(cfg.seed + k * 131 + static_cast<std::uint64_t>(bits));
+      double mass = 0;
+      for (std::size_t r = 0; r < cfg.fidelity_reps; ++r) {
+        const auto p =
+            GenerateAttentionProblem(frng, sampler.Sample(frng), wl);
+        SparseAttentionConfig sa;
+        sa.top_k = k;
+        sa.bits = bits;
+        mass += EvaluateFidelity(p, sa).retained_mass;
+      }
+      pt.retained_mass = mass / static_cast<double>(cfg.fidelity_reps);
+      pt.predicted_drop_pct = PredictedDrop(dataset, pt.retained_mass);
+      pt.feasible = pt.predicted_drop_pct <= cfg.max_drop_pct;
+
+      if (pt.feasible && pt.sequences_per_s > best_rate) {
+        best_rate = pt.sequences_per_s;
+        res.best_index = res.points.size();
+        res.found_feasible = true;
+      }
+      res.points.push_back(pt);
+    }
+  }
+  return res;
+}
+
+}  // namespace latte

@@ -1,0 +1,57 @@
+#pragma once
+// Automated design-space exploration (Section 4.2: "...enumerate pipeline
+// replication factor R(G_k, s_i) to obtain the optimal setting with the
+// help of analytical performance and resource models").
+//
+// Explores the co-design knobs -- Top-k, pre-selection bit width, and
+// per-stage replication -- under a resource and accuracy constraint, and
+// returns the throughput-optimal point plus the accuracy/throughput Pareto
+// front that Figs 6 and 7 jointly trace.
+
+#include <vector>
+
+#include "fpga/accelerator.hpp"
+#include "workload/dataset.hpp"
+
+namespace latte {
+
+/// One evaluated design point.
+struct DesignPoint {
+  std::size_t top_k = 30;
+  int bits = 1;
+  double latency_s = 0;            ///< batch latency on the reference batch
+  double sequences_per_s = 0;
+  double predicted_drop_pct = 0;   ///< calibrated accuracy drop
+  double retained_mass = 0;        ///< measured selection fidelity
+  bool feasible = true;            ///< resource + accuracy constraints hold
+};
+
+/// Exploration constraints.
+struct ExplorerConfig {
+  std::vector<std::size_t> k_candidates = {10, 20, 30, 40, 50, 64};
+  std::vector<int> bit_candidates = {1, 4};
+  double max_drop_pct = 2.0;   ///< accuracy budget (paper: < 2%)
+  std::size_t batch = 16;
+  std::uint64_t seed = 42;
+  std::size_t fidelity_reps = 4;  ///< problems per fidelity estimate
+  AcceleratorConfig accel;        ///< chip + mode (top_k/bits overridden)
+};
+
+/// Result: every evaluated point plus the chosen optimum.
+struct ExplorationResult {
+  std::vector<DesignPoint> points;  ///< all points, evaluation order
+  std::size_t best_index = 0;       ///< fastest feasible point
+  bool found_feasible = false;
+
+  const DesignPoint& best() const { return points.at(best_index); }
+
+  /// Pareto-optimal subset (maximize throughput, minimize drop).
+  std::vector<DesignPoint> ParetoFront() const;
+};
+
+/// Runs the exploration for one model/dataset pair.
+ExplorationResult ExploreDesign(const ModelConfig& model,
+                                const DatasetSpec& dataset,
+                                const ExplorerConfig& cfg = {});
+
+}  // namespace latte

@@ -1,0 +1,68 @@
+#include "metrics/fidelity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "nn/attention.hpp"
+#include "nn/ops.hpp"
+#include "tensor/matmul.hpp"
+
+namespace latte {
+
+double RetainedSoftmaxMass(
+    const MatrixF& q, const MatrixF& k,
+    const std::vector<std::vector<std::uint32_t>>& candidates) {
+  if (q.rows() == 0) return 1.0;
+  MatrixF s = MatMulBT(q, k);
+  ScaleInPlace(s, 1.f / std::sqrt(static_cast<float>(q.cols())));
+  SoftmaxRowsInPlace(s);
+  double total = 0.0;
+  for (std::size_t i = 0; i < s.rows(); ++i) {
+    double mass = 0.0;
+    for (std::uint32_t j : candidates[i]) mass += s(i, j);
+    total += mass;
+  }
+  return total / static_cast<double>(s.rows());
+}
+
+FidelityReport EvaluateFidelity(const AttentionProblem& problem,
+                                const SparseAttentionConfig& cfg) {
+  FidelityReport rep;
+  rep.n = problem.q.rows();
+  rep.k_used = std::min<std::size_t>(cfg.top_k, problem.k.rows());
+
+  SparseAttentionStats stats;
+  const MatrixF sparse =
+      SparseAttention(problem.q, problem.k, problem.v, cfg, &stats);
+  const MatrixF dense = DenseAttention(problem.q, problem.k, problem.v);
+
+  // Recall against the exact Top-k oracle.
+  const auto exact =
+      ExactTopKCandidates(problem.q, problem.k, cfg.top_k);
+  double recall = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    std::unordered_set<std::uint32_t> sel(stats.candidates[i].begin(),
+                                          stats.candidates[i].end());
+    std::size_t hit = 0;
+    for (std::uint32_t j : exact[i]) hit += sel.count(j);
+    recall += exact[i].empty()
+                  ? 1.0
+                  : static_cast<double>(hit) /
+                        static_cast<double>(exact[i].size());
+  }
+  rep.topk_recall =
+      exact.empty() ? 1.0 : recall / static_cast<double>(exact.size());
+
+  rep.retained_mass =
+      RetainedSoftmaxMass(problem.q, problem.k, stats.candidates);
+  rep.output_cosine = MeanRowCosine(sparse, dense);
+
+  const double dense_norm = FrobeniusDistance(dense, MatrixF(dense.rows(),
+                                                             dense.cols()));
+  const double err = FrobeniusDistance(sparse, dense);
+  rep.output_rel_error = dense_norm > 0 ? err / dense_norm : 0.0;
+  return rep;
+}
+
+}  // namespace latte

@@ -1,0 +1,40 @@
+#pragma once
+// Fidelity metrics of sparse attention against the dense reference.
+//
+// These are the mechanism behind Fig 6: how much of the true softmax mass
+// the quantized Top-k selection retains, how often it recovers the exact
+// Top-k keys, and how close the sparse attention output is to dense.
+
+#include "core/sparse_attention.hpp"
+#include "workload/synthetic.hpp"
+
+namespace latte {
+
+/// Aggregated fidelity of one attention problem instance.
+struct FidelityReport {
+  /// |selected ∩ exact-Top-k| / k, averaged over query rows.
+  double topk_recall = 0;
+  /// Mean over rows of the exact softmax probability mass covered by the
+  /// selected candidates (1.0 = sparse softmax sees everything that
+  /// matters).
+  double retained_mass = 0;
+  /// Mean row-wise cosine similarity between sparse and dense outputs.
+  double output_cosine = 0;
+  /// Relative Frobenius error ||sparse - dense|| / ||dense||.
+  double output_rel_error = 0;
+  std::size_t n = 0;
+  std::size_t k_used = 0;
+};
+
+/// Runs sparse attention on the problem and scores it against the dense
+/// reference.
+FidelityReport EvaluateFidelity(const AttentionProblem& problem,
+                                const SparseAttentionConfig& cfg);
+
+/// Retained softmax mass of an arbitrary candidate assignment (used to
+/// score oracle selections and ablations).
+double RetainedSoftmaxMass(
+    const MatrixF& q, const MatrixF& k,
+    const std::vector<std::vector<std::uint32_t>>& candidates);
+
+}  // namespace latte

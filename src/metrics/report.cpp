@@ -1,0 +1,56 @@
+#include "metrics/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace latte {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable::AddRow: cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left
+         << std::setw(static_cast<int>(width[c])) << row[c];
+    }
+    os << " |\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Fmt(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string FmtX(double value, int digits) {
+  return Fmt(value, digits) + "x";
+}
+
+}  // namespace latte

@@ -1,0 +1,34 @@
+#pragma once
+// Plain-text table rendering shared by the bench binaries.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace latte {
+
+/// A fixed-width text table: set headers, add rows, print.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column widths fit to content.
+  std::string Render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places.
+std::string Fmt(double value, int digits = 2);
+
+/// Formats a ratio as "12.3x".
+std::string FmtX(double value, int digits = 1);
+
+}  // namespace latte

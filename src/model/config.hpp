@@ -1,0 +1,42 @@
+#pragma once
+// Model zoo: the four evaluation models of Table 1.
+
+#include <string>
+#include <vector>
+
+#include "nn/op_cost.hpp"
+
+namespace latte {
+
+/// A self-attention-centric model: a stack of identical encoder layers.
+struct ModelConfig {
+  std::string name;
+  std::size_t layers = 12;
+  EncoderConfig encoder;
+
+  /// FLOPs of the full encoder stack at sequence length n.
+  double TotalModelFlops(double n, AttentionMode mode,
+                         std::size_t top_k = 30) const;
+
+  /// FLOPs of the self-attention workflow only (Fig 7(b) scope).
+  double AttentionModelFlops(double n, AttentionMode mode,
+                             std::size_t top_k = 30) const;
+
+  /// Off-chip traffic (elements) of the full stack at sequence length n.
+  double TotalModelOffchipElems(double n, AttentionMode mode,
+                                std::size_t top_k = 30) const;
+};
+
+/// Table 1: DistilBERT, 6 layers, hidden 768, 12 heads.
+ModelConfig DistilBert();
+/// Table 1: BERT-base, 12 layers, hidden 768, 12 heads.
+ModelConfig BertBase();
+/// Table 1: RoBERTa, 12 layers, hidden 768, 12 heads (BERT-base shape).
+ModelConfig Roberta();
+/// Table 1: BERT-large, 24 layers, hidden 1024, 16 heads.
+ModelConfig BertLarge();
+
+/// All four models, Table 1 order.
+std::vector<ModelConfig> ModelZoo();
+
+}  // namespace latte

@@ -1,0 +1,35 @@
+#pragma once
+// Dense (reference) scaled-dot-product attention and the pluggable
+// multi-head wrapper used by the encoder.
+
+#include <functional>
+
+#include "tensor/matrix.hpp"
+
+namespace latte {
+
+/// Per-head attention function: (Q, K, V) -> context, all (n x d_head).
+/// The encoder is parameterized on this so the dense reference and the
+/// paper's sparse operator are drop-in interchangeable.
+using AttentionFn =
+    std::function<MatrixF(const MatrixF&, const MatrixF&, const MatrixF&)>;
+
+/// Reference dense attention for one head:
+///   softmax(Q K^T / sqrt(d)) V
+/// Q, K, V are (n x d); result is (n x d).
+MatrixF DenseAttention(const MatrixF& q, const MatrixF& k, const MatrixF& v);
+
+/// Dense attention with a padding mask: keys at index >= valid_len receive
+/// -inf scores before softmax (0 = everything valid).  The oracle for the
+/// masked sparse path.
+MatrixF DenseAttentionMasked(const MatrixF& q, const MatrixF& k,
+                             const MatrixF& v, std::size_t valid_len);
+
+/// Splits an (n x h) matrix into `heads` contiguous column blocks of width
+/// h/heads.  Throws if h is not divisible by heads.
+std::vector<MatrixF> SplitHeads(const MatrixF& x, std::size_t heads);
+
+/// Inverse of SplitHeads: concatenates per-head (n x d) blocks column-wise.
+MatrixF ConcatHeads(const std::vector<MatrixF>& heads);
+
+}  // namespace latte

@@ -1,0 +1,68 @@
+#include "nn/encoder.hpp"
+
+#include <stdexcept>
+
+#include "nn/ops.hpp"
+#include "tensor/matmul.hpp"
+
+namespace latte {
+
+EncoderWeights MakeEncoderWeights(Rng& rng, const EncoderConfig& cfg) {
+  if (cfg.heads == 0 || cfg.hidden % cfg.heads != 0) {
+    throw std::invalid_argument("EncoderConfig: heads must divide hidden");
+  }
+  EncoderWeights w;
+  w.wq = MakeLinear(rng, cfg.hidden, cfg.hidden);
+  w.wk = MakeLinear(rng, cfg.hidden, cfg.hidden);
+  w.wv = MakeLinear(rng, cfg.hidden, cfg.hidden);
+  w.wo = MakeLinear(rng, cfg.hidden, cfg.hidden);
+  w.ffn1 = MakeLinear(rng, cfg.hidden, cfg.ffn());
+  w.ffn2 = MakeLinear(rng, cfg.ffn(), cfg.hidden);
+  w.ln1_gamma.assign(cfg.hidden, 1.f);
+  w.ln1_beta.assign(cfg.hidden, 0.f);
+  w.ln2_gamma.assign(cfg.hidden, 1.f);
+  w.ln2_beta.assign(cfg.hidden, 0.f);
+  return w;
+}
+
+MatrixF EncoderForward(const MatrixF& x, const EncoderWeights& w,
+                       const EncoderConfig& cfg, const AttentionFn& attn) {
+  if (x.cols() != cfg.hidden) {
+    throw std::invalid_argument("EncoderForward: input width != hidden");
+  }
+  // Stage 1: linear transformation (MatMul unit in Fig 2(a)).
+  const MatrixF q = w.wq.Forward(x);
+  const MatrixF k = w.wk.Forward(x);
+  const MatrixF v = w.wv.Forward(x);
+
+  // Stage 2: per-head attention computation.
+  const auto qh = SplitHeads(q, cfg.heads);
+  const auto kh = SplitHeads(k, cfg.heads);
+  const auto vh = SplitHeads(v, cfg.heads);
+  std::vector<MatrixF> ctx;
+  ctx.reserve(cfg.heads);
+  for (std::size_t h = 0; h < cfg.heads; ++h) {
+    ctx.push_back(attn(qh[h], kh[h], vh[h]));
+  }
+  MatrixF a = w.wo.Forward(ConcatHeads(ctx));
+
+  // Residual + LayerNorm.
+  MatrixF x1 = Add(x, a);
+  LayerNormInPlace(x1, w.ln1_gamma, w.ln1_beta);
+
+  // Stage 3: feedforward.
+  MatrixF f = w.ffn1.Forward(x1);
+  GeluInPlace(f);
+  f = w.ffn2.Forward(f);
+
+  MatrixF out = Add(x1, f);
+  LayerNormInPlace(out, w.ln2_gamma, w.ln2_beta);
+  return out;
+}
+
+MatrixF EncoderForwardDense(const MatrixF& x, const EncoderWeights& w,
+                            const EncoderConfig& cfg) {
+  return EncoderForward(x, w, cfg, DenseAttention);
+}
+
+}  // namespace latte

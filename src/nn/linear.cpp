@@ -1,0 +1,29 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "tensor/matmul.hpp"
+
+namespace latte {
+
+MatrixF Linear::Forward(const MatrixF& x) const {
+  MatrixF y = MatMul(x, weight);
+  if (!bias.empty()) AddBiasInPlace(y, bias);
+  return y;
+}
+
+Linear MakeLinear(Rng& rng, std::size_t in, std::size_t out, bool with_bias) {
+  Linear l;
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(in + out));  // Xavier uniform
+  l.weight = rng.UniformMatrix(in, out, -limit, limit);
+  if (with_bias) {
+    l.bias.resize(out);
+    for (auto& b : l.bias) {
+      b = static_cast<float>(rng.NextUniform(-0.01, 0.01));
+    }
+  }
+  return l;
+}
+
+}  // namespace latte

@@ -1,0 +1,26 @@
+#pragma once
+// Bias-ful linear transformation y = x W + b.
+
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+
+namespace latte {
+
+/// A linear layer.  Weight is (in x out) so the forward pass is a plain
+/// row-major matmul; bias has length `out` (may be empty for no bias).
+struct Linear {
+  MatrixF weight;           ///< (in_features x out_features)
+  std::vector<float> bias;  ///< length out_features, or empty
+
+  /// y = x * weight (+ bias).  x is (n x in_features).
+  MatrixF Forward(const MatrixF& x) const;
+
+  std::size_t in_features() const { return weight.rows(); }
+  std::size_t out_features() const { return weight.cols(); }
+};
+
+/// Xavier-uniform initialized linear layer (deterministic given the Rng).
+Linear MakeLinear(Rng& rng, std::size_t in, std::size_t out,
+                  bool with_bias = true);
+
+}  // namespace latte

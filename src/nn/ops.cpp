@@ -1,0 +1,60 @@
+#include "nn/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace latte {
+
+void SoftmaxInPlace(std::span<float> row) {
+  if (row.empty()) return;
+  const float mx = *std::max_element(row.begin(), row.end());
+  float sum = 0.f;
+  for (auto& x : row) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  if (sum > 0.f) {
+    for (auto& x : row) x /= sum;
+  }
+}
+
+void SoftmaxRowsInPlace(MatrixF& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) SoftmaxInPlace(m.row(i));
+}
+
+float Gelu(float x) {
+  // 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  const float inner = kC * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.f + std::tanh(inner));
+}
+
+void GeluInPlace(MatrixF& m) {
+  for (auto& x : m.flat()) x = Gelu(x);
+}
+
+void LayerNormInPlace(MatrixF& m, std::span<const float> gamma,
+                      std::span<const float> beta, float eps) {
+  if (gamma.size() != m.cols() || beta.size() != m.cols()) {
+    throw std::invalid_argument("LayerNormInPlace: gamma/beta length mismatch");
+  }
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    auto r = m.row(i);
+    double mean = 0.0;
+    for (float x : r) mean += x;
+    mean /= static_cast<double>(r.size());
+    double var = 0.0;
+    for (float x : r) {
+      const double d = x - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(r.size());
+    const float inv = 1.f / std::sqrt(static_cast<float>(var) + eps);
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      r[j] = (r[j] - static_cast<float>(mean)) * inv * gamma[j] + beta[j];
+    }
+  }
+}
+
+}  // namespace latte

@@ -1,0 +1,26 @@
+#pragma once
+// Elementwise / normalization operators of the Transformer encoder.
+
+#include "tensor/matrix.hpp"
+
+namespace latte {
+
+/// Row-wise numerically-stable softmax (subtracts the row max).
+/// Empty rows are left untouched.
+void SoftmaxRowsInPlace(MatrixF& m);
+
+/// Softmax of a single row vector, in place.
+void SoftmaxInPlace(std::span<float> row);
+
+/// GELU activation (tanh approximation, the variant BERT ships).
+float Gelu(float x);
+
+/// Applies GELU elementwise.
+void GeluInPlace(MatrixF& m);
+
+/// Layer normalization over the last dimension with learned gamma/beta.
+/// gamma and beta must have length m.cols().  eps guards the variance.
+void LayerNormInPlace(MatrixF& m, std::span<const float> gamma,
+                      std::span<const float> beta, float eps = 1e-5f);
+
+}  // namespace latte

@@ -1,0 +1,87 @@
+#include "sched/op_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace latte {
+
+std::size_t OpGraph::AddNode(OpSpec spec) {
+  nodes_.push_back(OpNode{std::move(spec), {}, {}});
+  return nodes_.size() - 1;
+}
+
+void OpGraph::AddEdge(std::size_t u, std::size_t v) {
+  if (u >= nodes_.size() || v >= nodes_.size()) {
+    throw std::out_of_range("OpGraph::AddEdge: vertex id out of range");
+  }
+  if (u == v) {
+    throw std::invalid_argument("OpGraph::AddEdge: self edge");
+  }
+  nodes_[u].succ.push_back(v);
+  nodes_[v].pred.push_back(u);
+}
+
+OpGraph OpGraph::Chain(const std::vector<OpSpec>& ops) {
+  OpGraph g;
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const std::size_t id = g.AddNode(ops[i]);
+    if (i > 0) g.AddEdge(prev, id);
+    prev = id;
+  }
+  return g;
+}
+
+std::vector<std::size_t> OpGraph::TopoOrder() const {
+  std::vector<std::size_t> indeg(nodes_.size(), 0);
+  for (const auto& n : nodes_) {
+    for (std::size_t s : n.succ) ++indeg[s];
+  }
+  std::vector<std::size_t> order;
+  order.reserve(nodes_.size());
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (indeg[i] == 0) ready.push_back(i);
+  }
+  while (!ready.empty()) {
+    // Smallest id first: deterministic order independent of insertion.
+    const auto it = std::min_element(ready.begin(), ready.end());
+    const std::size_t v = *it;
+    ready.erase(it);
+    order.push_back(v);
+    for (std::size_t s : nodes_[v].succ) {
+      if (--indeg[s] == 0) ready.push_back(s);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    throw std::runtime_error("OpGraph::TopoOrder: graph has a cycle");
+  }
+  return order;
+}
+
+std::vector<double> OpGraph::Weights(double s_avg) const {
+  constexpr double kMinWeight = 1.0;  // keeps ceil ratios finite
+  std::vector<double> w(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    w[i] = std::max(kMinWeight, nodes_[i].spec.flops.Eval(s_avg));
+  }
+  return w;
+}
+
+std::vector<double> OpGraph::Priorities(double s_avg) const {
+  const auto w = Weights(s_avg);
+  const auto topo = TopoOrder();
+  std::vector<double> p(nodes_.size(), 0.0);
+  // Sweep in reverse topological order: successors are final before v.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const std::size_t v = *it;
+    double best_succ = 0.0;
+    for (std::size_t s : nodes_[v].succ) {
+      best_succ = std::max(best_succ, p[s]);
+    }
+    p[v] = w[v] + best_succ;
+  }
+  return p;
+}
+
+}  // namespace latte

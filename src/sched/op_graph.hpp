@@ -1,0 +1,57 @@
+#pragma once
+// Encoder operator graph G = (V, E) and the Eq. 1 critical-path priority.
+//
+// Each vertex is an encoder operator with its cost polynomials (nn/op_cost);
+// each edge a data dependency.  The priority of a vertex is its critical
+// path to the sink evaluated at the average sequence length s_avg:
+//
+//   P(v, s_avg) = W(v, s_avg) + max_{u in Succ(v)} P(u, s_avg)      (Eq. 1)
+//
+// with W(v, s) the operator's arithmetic complexity (FLOPs) at length s.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/op_cost.hpp"
+
+namespace latte {
+
+/// One vertex of the operator graph.
+struct OpNode {
+  OpSpec spec;
+  std::vector<std::size_t> succ;
+  std::vector<std::size_t> pred;
+};
+
+/// A DAG of encoder operators.
+class OpGraph {
+ public:
+  /// Adds a vertex, returning its id.
+  std::size_t AddNode(OpSpec spec);
+
+  /// Adds the dependency u -> v.  Throws on out-of-range ids or u == v.
+  void AddEdge(std::size_t u, std::size_t v);
+
+  /// Builds the linear-chain graph of an operator list in dataflow order
+  /// (the encoder of Fig 1 is a chain at this granularity).
+  static OpGraph Chain(const std::vector<OpSpec>& ops);
+
+  std::size_t size() const { return nodes_.size(); }
+  const OpNode& node(std::size_t i) const { return nodes_.at(i); }
+
+  /// Topological order; throws std::runtime_error if the graph has a cycle.
+  std::vector<std::size_t> TopoOrder() const;
+
+  /// Operator weights W(v, s_avg): FLOPs evaluated at s_avg.  Operators with
+  /// zero FLOPs (pure LUT work) receive a small positive weight so ratios
+  /// stay finite.
+  std::vector<double> Weights(double s_avg) const;
+
+  /// Eq. 1 critical-path priorities at s_avg.
+  std::vector<double> Priorities(double s_avg) const;
+
+ private:
+  std::vector<OpNode> nodes_;
+};
+
+}  // namespace latte

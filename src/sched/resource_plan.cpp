@@ -1,0 +1,91 @@
+#include "sched/resource_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace latte {
+
+double StagePlan::TokensPerSecond(double freq_hz) const {
+  if (flops_per_token <= 0) return std::numeric_limits<double>::infinity();
+  return dsp * 2.0 * freq_hz / flops_per_token;
+}
+
+double PipelinePlan::TokensPerSecond(double freq_hz) const {
+  double rate = std::numeric_limits<double>::infinity();
+  for (const auto& s : stages) {
+    rate = std::min(rate, s.TokensPerSecond(freq_hz));
+  }
+  return rate;
+}
+
+double PipelinePlan::BalanceRatio(double freq_hz) const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (const auto& s : stages) {
+    const double r = s.TokensPerSecond(freq_hz);
+    if (std::isinf(r)) continue;
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  if (hi == 0.0) return 1.0;
+  return lo / hi;
+}
+
+PipelinePlan PlanPipeline(const std::vector<double>& stage_flops_per_token,
+                          const PlannerConfig& cfg) {
+  if (stage_flops_per_token.empty()) return {};
+  double total_work = 0.0;
+  for (double w : stage_flops_per_token) {
+    if (w < 0) throw std::invalid_argument("PlanPipeline: negative work");
+    total_work += w;
+  }
+  PipelinePlan plan;
+  plan.stages.resize(stage_flops_per_token.size());
+  if (total_work <= 0) {
+    for (std::size_t k = 0; k < plan.stages.size(); ++k) {
+      plan.stages[k].flops_per_token = 0;
+      plan.stages[k].dsp = 0;
+      plan.stages[k].replication = 1;
+    }
+    return plan;
+  }
+  for (std::size_t k = 0; k < plan.stages.size(); ++k) {
+    auto& s = plan.stages[k];
+    s.flops_per_token = stage_flops_per_token[k];
+    // Proportional share equalizes stage latencies (max-min optimal for a
+    // serial pipeline).
+    s.dsp = cfg.total_dsp * (s.flops_per_token / total_work);
+    // Lane cap per instance: replicate instead of widening past the cap.
+    s.replication = 1;
+    while (s.replication < cfg.max_replication &&
+           s.dsp / static_cast<double>(s.replication) >
+               cfg.max_dsp_per_instance) {
+      ++s.replication;
+    }
+    // At least one DSP for any stage that does work.
+    if (s.flops_per_token > 0) s.dsp = std::max(s.dsp, 1.0);
+  }
+  return plan;
+}
+
+std::vector<double> StageFlopsPerToken(const OpGraph& g,
+                                       const AllocationResult& alloc,
+                                       double s_avg) {
+  if (s_avg <= 0) {
+    throw std::invalid_argument("StageFlopsPerToken: s_avg must be positive");
+  }
+  std::vector<double> out;
+  out.reserve(alloc.stages.size());
+  for (const auto& stage : alloc.stages) {
+    double flops = 0.0;
+    for (const auto& a : stage.ops) {
+      flops += g.node(a.op).spec.flops.Eval(s_avg);
+    }
+    out.push_back(flops / s_avg);
+  }
+  return out;
+}
+
+}  // namespace latte

@@ -1,0 +1,62 @@
+#pragma once
+// Post-allocation resource planning (Section 4.2, "we further adjust the
+// operator parallelism N(v_i, s_i) ... and enumerate pipeline replication
+// factor R(G_k, s_i) to obtain the optimal setting with the help of
+// analytical performance and resource models").
+//
+// Given the stage partition, this planner decides how many DSP slices each
+// coarse stage receives and whether a stage is replicated.  The coarse
+// pipeline's throughput is limited by its slowest stage, so the optimum
+// splits DSPs proportionally to per-token stage work; a per-stage-instance
+// lane cap (BRAM port / banking limits) forces replication of very heavy
+// stages instead of unbounded widening.
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/stage_allocation.hpp"
+
+namespace latte {
+
+/// Chip-level knobs for the planner.
+struct PlannerConfig {
+  double total_dsp = 3000;          ///< chip DSP budget (U280 SLR0)
+  double max_dsp_per_instance = 1536;  ///< lane cap per stage instance
+  std::size_t max_replication = 8;  ///< largest R(G_k) considered
+};
+
+/// Final plan for one stage.
+struct StagePlan {
+  double flops_per_token = 0;  ///< stage work per token at s_avg
+  double dsp = 0;              ///< DSP slices granted (all replicas)
+  std::size_t replication = 1; ///< R(G_k)
+  /// Tokens/second this stage sustains: dsp * 2 flops/cycle/DSP * freq /
+  /// flops_per_token.
+  double TokensPerSecond(double freq_hz) const;
+};
+
+/// Plan for the whole coarse pipeline.
+struct PipelinePlan {
+  std::vector<StagePlan> stages;
+
+  /// Pipeline throughput: the slowest stage's token rate.
+  double TokensPerSecond(double freq_hz) const;
+  /// Ratio of slowest to fastest stage token rate (1.0 = perfectly
+  /// balanced); the pipeline-bubble potential of the static design.
+  double BalanceRatio(double freq_hz) const;
+};
+
+/// Splits the DSP budget across stages proportionally to per-token work and
+/// enumerates replication whenever a stage's proportional share exceeds the
+/// per-instance cap.  `stage_flops_per_token[k]` is the stage-k work for one
+/// token at the design point s_avg.
+PipelinePlan PlanPipeline(const std::vector<double>& stage_flops_per_token,
+                          const PlannerConfig& cfg = {});
+
+/// Convenience: per-token stage work of an allocation at s_avg
+/// (sum of member-operator FLOPs at s_avg, divided by s_avg).
+std::vector<double> StageFlopsPerToken(const OpGraph& g,
+                                       const AllocationResult& alloc,
+                                       double s_avg);
+
+}  // namespace latte

@@ -1,0 +1,139 @@
+#include "sched/stage_allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace latte {
+namespace {
+
+bool IsLutClass(const OpSpec& spec) {
+  // Operators whose dominant arithmetic is LUT-fabric work.
+  return spec.lut_ops.quad > 0 || spec.lut_ops.lin > 0;
+}
+
+}  // namespace
+
+double StageAllocation::DspLanes(const OpGraph& g) const {
+  double acc = 0.0;
+  for (const auto& a : ops) {
+    if (!IsLutClass(g.node(a.op).spec)) acc += a.parallelism;
+  }
+  return acc;
+}
+
+double AllocationResult::TotalDsp(const OpGraph& g) const {
+  double acc = 0.0;
+  for (const auto& s : stages) acc += s.DspLanes(g);
+  return acc;
+}
+
+std::size_t AllocationResult::StageOf(std::size_t op) const {
+  for (std::size_t k = 0; k < stages.size(); ++k) {
+    for (const auto& a : stages[k].ops) {
+      if (a.op == op) return k;
+    }
+  }
+  return npos;
+}
+
+AllocationResult AllocateStages(const OpGraph& g, double s_avg,
+                                const AllocatorConfig& cfg) {
+  if (g.size() == 0) return {};
+  const auto weights = g.Weights(s_avg);
+  const auto prio = g.Priorities(s_avg);
+
+  // Visit vertices in decreasing priority; ties by vertex id for
+  // determinism.  For a dataflow chain this is exactly dataflow order.
+  std::vector<std::size_t> order(g.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (prio[a] != prio[b]) return prio[a] > prio[b];
+                     return a < b;
+                   });
+
+  AllocationResult res;
+  double committed_dsp = 0.0;  // DSP lanes in closed stages
+  double committed_lut = 0.0;
+
+  auto lanes_cost = [&](const OpSpec& spec, double lanes, double& dsp,
+                        double& lut) {
+    if (IsLutClass(spec)) {
+      lut += lanes * cfg.lut_per_lane;
+    } else {
+      dsp += lanes;
+    }
+  };
+
+  StageAllocation current;
+  for (std::size_t v : order) {
+    const OpSpec& spec = g.node(v).spec;
+    if (current.ops.empty()) {
+      current.ops.push_back({v, 1.0});
+      continue;
+    }
+    // Tentatively rebalance the open stage against the newcomer.
+    std::vector<AllocatedOp> rebalanced = current.ops;
+    bool overflow = false;
+    for (auto& a : rebalanced) {
+      const double ratio = std::ceil(weights[a.op] / weights[v]);
+      a.parallelism *= ratio;
+      if (a.parallelism > cfg.max_parallelism) overflow = true;
+    }
+    // Cost of: closed stages + rebalanced open stage + the newcomer.
+    double dsp = committed_dsp;
+    double lut = committed_lut;
+    for (const auto& a : rebalanced) {
+      lanes_cost(g.node(a.op).spec, a.parallelism, dsp, lut);
+    }
+    lanes_cost(spec, 1.0, dsp, lut);
+
+    if (!overflow && dsp <= cfg.dsp_budget && lut <= cfg.lut_budget) {
+      current.ops = std::move(rebalanced);
+      current.ops.push_back({v, 1.0});
+    } else {
+      // Close the stage; the newcomer opens a fresh one.
+      for (const auto& a : current.ops) {
+        double d = 0, l = 0;
+        lanes_cost(g.node(a.op).spec, a.parallelism, d, l);
+        committed_dsp += d;
+        committed_lut += l;
+      }
+      res.stages.push_back(std::move(current));
+      current = StageAllocation{};
+      current.ops.push_back({v, 1.0});
+    }
+  }
+  if (!current.ops.empty()) res.stages.push_back(std::move(current));
+  return res;
+}
+
+AllocationResult CanonicalStages(const OpGraph& g, double s_avg) {
+  const auto weights = g.Weights(s_avg);
+  AllocationResult res;
+  res.stages.resize(3);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    const int hint = g.node(v).spec.stage_hint;
+    if (hint < 1 || hint > 3) {
+      throw std::out_of_range("CanonicalStages: stage_hint outside 1..3");
+    }
+    res.stages[static_cast<std::size_t>(hint - 1)].ops.push_back({v, 1.0});
+  }
+  // Drop empty stages (e.g. graphs that only describe attention).
+  std::erase_if(res.stages,
+                [](const StageAllocation& s) { return s.ops.empty(); });
+  // Weight-proportional lanes within each stage, lightest op = 1 lane.
+  for (auto& stage : res.stages) {
+    double wmin = std::numeric_limits<double>::infinity();
+    for (const auto& a : stage.ops) wmin = std::min(wmin, weights[a.op]);
+    for (auto& a : stage.ops) {
+      a.parallelism = std::ceil(weights[a.op] / wmin);
+    }
+  }
+  return res;
+}
+
+}  // namespace latte

@@ -1,0 +1,106 @@
+#pragma once
+// Q-format saturating fixed-point arithmetic.
+//
+// The FPGA datapath computes in fixed point (Section 5: "8 bits fixed-point
+// number multiply & accumulate consumes 1 DSP unit").  This header provides
+// a compile-time Q(I.F) value type with saturating add/sub/mul, used to
+// model datapath precision effects and asserted against float references in
+// tests.  Storage is int32; I integer bits (excluding sign) and F
+// fractional bits with I + F <= 30.
+
+#include <algorithm>
+#include <cstdint>
+#include <cmath>
+
+namespace latte {
+
+/// Saturating Q(I.F) fixed-point number.
+template <int IntBits, int FracBits>
+class Fixed {
+  static_assert(IntBits >= 0 && FracBits >= 0, "negative field width");
+  static_assert(IntBits + FracBits <= 30, "must fit int32 with sign bit");
+
+ public:
+  static constexpr int kTotalBits = IntBits + FracBits;
+  static constexpr std::int32_t kMaxRaw = (1 << kTotalBits) - 1;
+  static constexpr std::int32_t kMinRaw = -(1 << kTotalBits);
+  static constexpr float kScale = static_cast<float>(1 << FracBits);
+
+  constexpr Fixed() = default;
+
+  /// Converts from float with round-to-nearest and saturation.
+  static Fixed FromFloat(float x) {
+    const float scaled = x * kScale;
+    const auto r = static_cast<std::int64_t>(std::llround(scaled));
+    return FromRaw64(r);
+  }
+
+  /// Wraps a raw integer (saturating).
+  static Fixed FromRaw(std::int32_t raw) {
+    return FromRaw64(static_cast<std::int64_t>(raw));
+  }
+
+  float ToFloat() const { return static_cast<float>(raw_) / kScale; }
+  std::int32_t raw() const { return raw_; }
+
+  /// Smallest representable step.
+  static constexpr float Epsilon() { return 1.0f / kScale; }
+  /// Largest representable magnitude.
+  static constexpr float Max() {
+    return static_cast<float>(kMaxRaw) / kScale;
+  }
+
+  Fixed operator+(Fixed o) const {
+    return FromRaw64(static_cast<std::int64_t>(raw_) + o.raw_);
+  }
+  Fixed operator-(Fixed o) const {
+    return FromRaw64(static_cast<std::int64_t>(raw_) - o.raw_);
+  }
+  Fixed operator-() const {
+    return FromRaw64(-static_cast<std::int64_t>(raw_));
+  }
+  /// Fixed-point multiply: (a * b) >> F with rounding and saturation.
+  Fixed operator*(Fixed o) const {
+    const std::int64_t wide =
+        static_cast<std::int64_t>(raw_) * static_cast<std::int64_t>(o.raw_);
+    const std::int64_t half = std::int64_t{1} << (FracBits - 1);
+    const std::int64_t rounded =
+        FracBits > 0 ? (wide + half) >> FracBits : wide;
+    return FromRaw64(rounded);
+  }
+
+  // Value comparisons look at the numeric value only, never the sticky
+  // saturation flag.
+  bool operator==(const Fixed& o) const { return raw_ == o.raw_; }
+  auto operator<=>(const Fixed& o) const { return raw_ <=> o.raw_; }
+
+  /// True if the last construction/operation saturated.
+  bool saturated() const { return saturated_; }
+
+ private:
+  static Fixed FromRaw64(std::int64_t raw) {
+    Fixed f;
+    if (raw > kMaxRaw) {
+      f.raw_ = kMaxRaw;
+      f.saturated_ = true;
+    } else if (raw < kMinRaw) {
+      f.raw_ = kMinRaw;
+      f.saturated_ = true;
+    } else {
+      f.raw_ = static_cast<std::int32_t>(raw);
+    }
+    return f;
+  }
+
+  std::int32_t raw_ = 0;
+  bool saturated_ = false;
+};
+
+/// The 8-bit datapath type (1 sign + 3 integer + 4 fractional bits).
+using Fix8 = Fixed<3, 4>;
+/// A 16-bit accumulator-ish type used between datapath stages.
+using Fix16 = Fixed<7, 8>;
+/// Wide accumulator for MAC chains.
+using Fix24 = Fixed<15, 8>;
+
+}  // namespace latte

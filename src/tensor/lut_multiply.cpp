@@ -1,0 +1,42 @@
+#include "tensor/lut_multiply.hpp"
+
+#include <cassert>
+
+namespace latte {
+
+LutMultiplier::LutMultiplier() {
+  for (int a = -8; a <= 7; ++a) {
+    for (int b = -8; b <= 7; ++b) {
+      table_[static_cast<std::size_t>((a + 8) * 16 + (b + 8))] =
+          static_cast<std::int16_t>(a * b);
+    }
+  }
+}
+
+std::int32_t LutMultiplier::Mul(std::int8_t a, std::int8_t b) const {
+  assert(a >= -8 && a <= 7 && b >= -8 && b <= 7);
+  return table_[static_cast<std::size_t>((a + 8) * 16 + (b + 8))];
+}
+
+std::int32_t LutMultiplier::Dot(std::span<const std::int8_t> a,
+                                std::span<const std::int8_t> b) const {
+  assert(a.size() == b.size());
+  std::int32_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += Mul(a[i], b[i]);
+  return acc;
+}
+
+MatrixI32 LutMultiplier::ScoreMatrix(const QuantizedMatrix& q,
+                                     const QuantizedMatrix& k) const {
+  assert(q.codes.cols() == k.codes.cols());
+  MatrixI32 s(q.codes.rows(), k.codes.rows());
+  for (std::size_t i = 0; i < q.codes.rows(); ++i) {
+    auto qi = q.codes.row(i);
+    for (std::size_t j = 0; j < k.codes.rows(); ++j) {
+      s(i, j) = Dot(qi, k.codes.row(j));
+    }
+  }
+  return s;
+}
+
+}  // namespace latte

@@ -1,0 +1,48 @@
+#pragma once
+// Look-up-table integer multiplication (Section 3.2 / Stage 1 "At-Sel").
+//
+// On the FPGA the quantized Q'.K'^T pre-selection scores are produced without
+// DSPs: two 4-bit codes index a 256-entry product table held in LUTs.  We
+// model the exact same structure so that (a) the functional result is
+// bit-identical to integer multiply-accumulate -- asserted by tests -- and
+// (b) the resource model can charge LUTs instead of DSPs for Stage 1's
+// pre-selection arithmetic.
+
+#include <array>
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+#include "tensor/quantize.hpp"
+
+namespace latte {
+
+/// 256-entry product LUT for signed codes in [-8, 7] x [-8, 7].
+/// Codes from 1-bit and 4-bit quantization (range [-7,7] / {-1,1}) always fall
+/// inside the table.
+class LutMultiplier {
+ public:
+  LutMultiplier();
+
+  /// Product of two 4-bit signed codes via table lookup.
+  /// Precondition: a, b in [-8, 7].
+  std::int32_t Mul(std::int8_t a, std::int8_t b) const;
+
+  /// Dot product of two code vectors via repeated lookup.
+  /// Precondition: equal lengths.
+  std::int32_t Dot(std::span<const std::int8_t> a,
+                   std::span<const std::int8_t> b) const;
+
+  /// Approximate score matrix S' = Q' * K'^T using only LUT lookups.
+  /// q.codes is (n x d), k.codes is (m x d); the result is (n x m).
+  MatrixI32 ScoreMatrix(const QuantizedMatrix& q,
+                        const QuantizedMatrix& k) const;
+
+  /// Number of table entries (fixed at 256, the figure the paper quotes).
+  static constexpr int kEntries = 256;
+
+ private:
+  // table_[(a+8)*16 + (b+8)] == a*b
+  std::array<std::int16_t, kEntries> table_;
+};
+
+}  // namespace latte

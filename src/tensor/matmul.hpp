@@ -1,0 +1,34 @@
+#pragma once
+// Dense float linear algebra used by the reference (non-sparse) paths.
+
+#include "tensor/matrix.hpp"
+
+namespace latte {
+
+/// C = A * B.  A is (n x k), B is (k x m).  Throws on shape mismatch.
+MatrixF MatMul(const MatrixF& a, const MatrixF& b);
+
+/// C = A * B^T.  A is (n x d), B is (m x d).  Throws on shape mismatch.
+/// This is the natural layout for attention scores S = Q * K^T.
+MatrixF MatMulBT(const MatrixF& a, const MatrixF& b);
+
+/// Returns A^T.
+MatrixF Transpose(const MatrixF& a);
+
+/// C = A + B (elementwise).  Throws on shape mismatch.
+MatrixF Add(const MatrixF& a, const MatrixF& b);
+
+/// Adds a row vector `bias` (length == a.cols()) to every row of `a` in place.
+void AddBiasInPlace(MatrixF& a, std::span<const float> bias);
+
+/// Scales every element in place.
+void ScaleInPlace(MatrixF& a, float s);
+
+/// Frobenius norm of (a - b).  Throws on shape mismatch.
+double FrobeniusDistance(const MatrixF& a, const MatrixF& b);
+
+/// Mean cosine similarity between corresponding rows of a and b.
+/// Rows with zero norm contribute similarity 1 if both are zero, else 0.
+double MeanRowCosine(const MatrixF& a, const MatrixF& b);
+
+}  // namespace latte

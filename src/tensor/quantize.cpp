@@ -1,0 +1,63 @@
+#include "tensor/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace latte {
+
+float ScalingFactor(const MatrixF& m) {
+  float mx = 0.f;
+  for (float x : m.flat()) mx = std::max(mx, std::fabs(x));
+  return mx;
+}
+
+int MaxCode(int bits) {
+  if (bits == 1) return 1;
+  return (1 << (bits - 1)) - 1;
+}
+
+std::int8_t QuantizeValue(float x, int bits, float M) {
+  if (bits == 1) {
+    // Sign function; hardware sign bit maps 0 to +1.
+    return x < 0.f ? -1 : 1;
+  }
+  const int qmax = MaxCode(bits);
+  if (M <= 0.f) return 0;
+  const float scaled = (static_cast<float>(qmax) / M) * x;
+  const long r = std::lround(scaled);
+  return static_cast<std::int8_t>(std::clamp<long>(r, -qmax, qmax));
+}
+
+QuantizedMatrix QuantizeWithScale(const MatrixF& m, int bits, float M) {
+  if (bits != 1 && bits != 4 && bits != 8) {
+    throw std::invalid_argument("Quantize: bits must be 1, 4 or 8");
+  }
+  QuantizedMatrix q;
+  q.bits = bits;
+  q.codes = MatrixI8(m.rows(), m.cols());
+  const int qmax = MaxCode(bits);
+  q.scale = (M > 0.f) ? M / static_cast<float>(qmax) : 1.f;
+  auto src = m.flat();
+  auto dst = q.codes.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = QuantizeValue(src[i], bits, M);
+  }
+  return q;
+}
+
+QuantizedMatrix Quantize(const MatrixF& m, int bits) {
+  return QuantizeWithScale(m, bits, ScalingFactor(m));
+}
+
+MatrixF Dequantize(const QuantizedMatrix& q) {
+  MatrixF m(q.codes.rows(), q.codes.cols());
+  auto src = q.codes.flat();
+  auto dst = m.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = static_cast<float>(src[i]) * q.scale;
+  }
+  return m;
+}
+
+}  // namespace latte

@@ -1,0 +1,49 @@
+#pragma once
+// Symmetric quantization as used by the paper (Section 3.2).
+//
+// The sparse-attention pre-selection quantizes full-precision Q and K into
+// 1-bit (sign) or 4-bit integers:  x' = round((2^(b-1) - 1) / |M| * x)  where
+// M is the scaling factor of the tensor (its maximum absolute value).  Both
+// quantization and exp() are monotone, so quantized scores preserve the rank
+// order of attention scores -- the property candidate selection relies on.
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace latte {
+
+/// A quantized tensor: integer codes plus the scale that maps codes back to
+/// (approximately) the original values: value ~= code * scale.
+struct QuantizedMatrix {
+  MatrixI8 codes;    ///< integer codes, each in [-(2^(b-1)-1), 2^(b-1)-1]
+  float scale = 1.f; ///< dequantization step:  value ~= code * scale
+  int bits = 8;      ///< bit width b (1, 4 or 8)
+};
+
+/// Returns the paper's scaling factor M for a tensor: max |x| over all
+/// elements (0 for an empty/all-zero tensor).
+float ScalingFactor(const MatrixF& m);
+
+/// Symmetric b-bit quantization per Section 3.2:
+///   codes = round((2^(b-1)-1) / M * x), clamped to the representable range.
+/// For bits == 1 this degenerates to the sign function with codes in {-1,+1}
+/// (zero maps to +1, matching sign-bit hardware).
+/// Requires bits in {1, 4, 8}.
+QuantizedMatrix Quantize(const MatrixF& m, int bits);
+
+/// Quantizes with an externally supplied scaling factor M (used when Q and K
+/// rows stream through hardware and M was computed over a larger tensor).
+QuantizedMatrix QuantizeWithScale(const MatrixF& m, int bits, float M);
+
+/// Reconstructs the float approximation codes * scale.
+MatrixF Dequantize(const QuantizedMatrix& q);
+
+/// Maximum representable code magnitude for a bit width: 2^(b-1)-1 (1 for b=1).
+int MaxCode(int bits);
+
+/// Quantizes a single value given scale factor M and bit width.
+std::int8_t QuantizeValue(float x, int bits, float M);
+
+}  // namespace latte

@@ -1,0 +1,53 @@
+#pragma once
+// Deterministic random number generation for workload synthesis.
+//
+// Every experiment in this repository must be bit-reproducible across runs,
+// so we ship our own xoshiro256++ implementation instead of relying on
+// std::mt19937 + std::normal_distribution (whose outputs are not guaranteed
+// to be identical across standard library implementations).
+
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+
+namespace latte {
+
+/// xoshiro256++ PRNG (Blackman & Vigna), seeded via splitmix64.
+/// Deterministic across platforms; passes BigCrush.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextUniform();
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic pairing).
+  double NextNormal();
+
+  /// Normal with the given mean / stddev.
+  double NextNormal(double mean, double stddev);
+
+  /// Uniform integer in [0, n).  Requires n > 0.
+  std::uint64_t NextIndex(std::uint64_t n);
+
+  /// Fills a float matrix with i.i.d. N(mean, stddev) samples.
+  MatrixF NormalMatrix(std::size_t rows, std::size_t cols, double mean,
+                       double stddev);
+
+  /// Fills a float matrix with i.i.d. U[lo, hi) samples.
+  MatrixF UniformMatrix(std::size_t rows, std::size_t cols, double lo,
+                        double hi);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace latte

@@ -1,0 +1,71 @@
+#include "workload/batch.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace latte {
+
+std::size_t Batch::EffectiveTokens() const {
+  return std::accumulate(effective_lengths.begin(), effective_lengths.end(),
+                         std::size_t{0});
+}
+
+std::size_t Batch::UsefulTokens() const {
+  return std::accumulate(original_lengths.begin(), original_lengths.end(),
+                         std::size_t{0});
+}
+
+double Batch::PaddingOverhead() const {
+  const std::size_t useful = UsefulTokens();
+  if (useful == 0) return 1.0;
+  return static_cast<double>(EffectiveTokens()) /
+         static_cast<double>(useful);
+}
+
+Batch MakeBatch(std::vector<std::size_t> lengths, BatchPolicy policy,
+                std::size_t micro_batch, std::size_t pad_to) {
+  if (micro_batch == 0) {
+    throw std::invalid_argument("MakeBatch: micro_batch must be >= 1");
+  }
+  Batch b;
+  switch (policy) {
+    case BatchPolicy::kPadToMax: {
+      std::size_t mx =
+          lengths.empty()
+              ? 0
+              : *std::max_element(lengths.begin(), lengths.end());
+      mx = std::max(mx, pad_to);
+      b.original_lengths = std::move(lengths);
+      b.effective_lengths.assign(b.original_lengths.size(), mx);
+      break;
+    }
+    case BatchPolicy::kMicroBatch: {
+      // Sort first so micro-batches group similar lengths (TurboTransformer
+      // batches requests of similar length together), then pad within each
+      // micro-batch to its own maximum.
+      std::sort(lengths.begin(), lengths.end(), std::greater<>());
+      b.original_lengths = lengths;
+      b.effective_lengths.resize(lengths.size());
+      for (std::size_t start = 0; start < lengths.size();
+           start += micro_batch) {
+        const std::size_t end =
+            std::min(start + micro_batch, lengths.size());
+        const std::size_t mx = lengths[start];  // sorted: first is max
+        for (std::size_t i = start; i < end; ++i) {
+          b.effective_lengths[i] = mx;
+        }
+      }
+      break;
+    }
+    case BatchPolicy::kSortedDescending: {
+      std::sort(lengths.begin(), lengths.end(), std::greater<>());
+      b.original_lengths = lengths;
+      b.effective_lengths = std::move(lengths);
+      break;
+    }
+  }
+  return b;
+}
+
+}  // namespace latte

@@ -1,0 +1,42 @@
+#pragma once
+// Batch construction policies for variable-length inputs (Section 2,
+// "Sequence length standardization", and Section 4.2).
+
+#include <cstddef>
+#include <vector>
+
+namespace latte {
+
+/// How a batch of variable-length sequences is presented to the hardware.
+enum class BatchPolicy {
+  kPadToMax,          ///< TensorRT-style: pad every sequence to the batch max
+  kMicroBatch,        ///< TurboTransformer-style: split into micro-batches
+                      ///< of similar length, pad within each micro-batch
+  kSortedDescending,  ///< ours: sort by decreasing length, no padding
+};
+
+/// A batch after policy application.
+struct Batch {
+  /// Effective per-sequence lengths the hardware computes on (post padding).
+  std::vector<std::size_t> effective_lengths;
+  /// Original lengths in processing order.
+  std::vector<std::size_t> original_lengths;
+
+  /// Total tokens actually computed.
+  std::size_t EffectiveTokens() const;
+  /// Total useful tokens (sum of original lengths).
+  std::size_t UsefulTokens() const;
+  /// EffectiveTokens / UsefulTokens: 1.0 means no padding waste.
+  double PaddingOverhead() const;
+};
+
+/// Applies a batching policy to raw sequence lengths.
+/// For kMicroBatch, `micro_batch` is the micro-batch size (must divide
+/// nothing in particular; the tail micro-batch may be short).
+/// For kPadToMax, `pad_to` > 0 pads to max(batch max, pad_to) -- use the
+/// dataset maximum to model frameworks that fix the padded length per task
+/// (Section 5.2 pads "to the maximum sequence length" of the task).
+Batch MakeBatch(std::vector<std::size_t> lengths, BatchPolicy policy,
+                std::size_t micro_batch = 4, std::size_t pad_to = 0);
+
+}  // namespace latte

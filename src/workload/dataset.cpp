@@ -1,0 +1,74 @@
+#include "workload/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace latte {
+
+DatasetSpec Squad() {
+  DatasetSpec d;
+  d.name = "SQuAD v1.1";
+  d.avg_len = 177;
+  d.max_len = 821;
+  d.metric = Metric::kF1;
+  d.baseline_score = 88.5;
+  return d;
+}
+
+DatasetSpec Rte() {
+  DatasetSpec d;
+  d.name = "RTE";
+  d.avg_len = 68;
+  d.max_len = 253;
+  d.metric = Metric::kAccuracy;
+  d.baseline_score = 66.4;
+  return d;
+}
+
+DatasetSpec Mrpc() {
+  DatasetSpec d;
+  d.name = "MRPC";
+  d.avg_len = 53;
+  d.max_len = 86;
+  d.metric = Metric::kF1;
+  d.baseline_score = 88.9;
+  return d;
+}
+
+std::vector<DatasetSpec> DatasetZoo() { return {Squad(), Rte(), Mrpc()}; }
+
+LengthSampler::LengthSampler(const DatasetSpec& spec) : spec_(spec) {
+  // Fit: mean of log-normal = exp(mu + sigma^2/2) = avg, and the 99.9th
+  // percentile exp(mu + z*sigma) = max with z = 3.0902.  Substituting mu
+  // gives  ln(max/avg) = z*sigma - sigma^2/2, solved by bisection on
+  // sigma in (0, z) where the RHS is increasing.
+  constexpr double kZ = 3.0902;  // Phi^-1(0.999)
+  const double target = std::log(spec.max_len / spec.avg_len);
+  double lo = 1e-6, hi = kZ;  // RHS max at sigma=z: z^2/2 > ln(max/avg) here
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double rhs = kZ * mid - 0.5 * mid * mid;
+    if (rhs < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  sigma_ = 0.5 * (lo + hi);
+  mu_ = std::log(spec.avg_len) - 0.5 * sigma_ * sigma_;
+}
+
+std::size_t LengthSampler::Sample(Rng& rng) const {
+  const double x = std::exp(mu_ + sigma_ * rng.NextNormal());
+  const double clamped = std::clamp(x, spec_.min_len, spec_.max_len);
+  return static_cast<std::size_t>(std::lround(clamped));
+}
+
+std::vector<std::size_t> LengthSampler::SampleMany(Rng& rng,
+                                                   std::size_t count) const {
+  std::vector<std::size_t> out(count);
+  for (auto& n : out) n = Sample(rng);
+  return out;
+}
+
+}  // namespace latte

@@ -1,0 +1,69 @@
+#pragma once
+// Evaluation dataset statistics (Table 1) and sequence-length sampling.
+//
+// We have no access to the raw SQuAD/RTE/MRPC corpora in this offline
+// environment, so lengths are sampled from a truncated log-normal fit whose
+// mean and maximum match the statistics the paper reports in Table 1.
+// Natural-language sentence lengths are classically well described by a
+// log-normal; the two published moments pin down its parameters.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace latte {
+
+/// Which headline metric a dataset reports (Section 5.1).
+enum class Metric { kF1, kAccuracy };
+
+/// Statistics of one evaluation dataset, matching Table 1.
+struct DatasetSpec {
+  std::string name;
+  double avg_len = 0;   ///< average sequence length (tokens)
+  double max_len = 0;   ///< maximum sequence length (tokens)
+  double min_len = 4;   ///< shortest sequence we sample
+  Metric metric = Metric::kAccuracy;
+  /// Published dense-baseline score (%) of BERT-base on this dataset; used
+  /// by the calibrated accuracy model to anchor the y-axis of Fig 6.
+  double baseline_score = 0;
+
+  /// Computational overhead of max-length padding (Table 1 "Max/Avg").
+  double MaxAvgRatio() const { return max_len / avg_len; }
+};
+
+/// SQuAD v1.1: avg 177, max 821, F1 (BERT-base F1 ~ 88.5).
+DatasetSpec Squad();
+/// RTE: avg 68, max 253, accuracy (BERT-base acc ~ 66.4).
+DatasetSpec Rte();
+/// MRPC: avg 53, max 86, F1 (BERT-base F1 ~ 88.9).
+DatasetSpec Mrpc();
+
+/// All three datasets, Table 1 order.
+std::vector<DatasetSpec> DatasetZoo();
+
+/// Truncated log-normal sequence-length sampler fit to (avg, max).
+///
+/// Parameters are chosen so that E[length] == avg and the 99.9th percentile
+/// lands on max; samples outside [min_len, max_len] are clamped.
+class LengthSampler {
+ public:
+  explicit LengthSampler(const DatasetSpec& spec);
+
+  /// Draws one sequence length in [min_len, max_len].
+  std::size_t Sample(Rng& rng) const;
+
+  /// Draws `count` lengths.
+  std::vector<std::size_t> SampleMany(Rng& rng, std::size_t count) const;
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  DatasetSpec spec_;
+  double mu_ = 0;
+  double sigma_ = 0;
+};
+
+}  // namespace latte

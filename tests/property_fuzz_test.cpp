@@ -1,0 +1,235 @@
+// Seed-sweep property tests: randomized instances checked against
+// invariants that must hold for every input, not just the curated cases in
+// the per-module suites.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <unordered_set>
+
+#include "latte/latte.hpp"
+
+namespace latte {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// --------------------------------------------------- sparse attention ----
+
+TEST_P(SeedSweep, SparseAttentionInvariants) {
+  Rng rng(GetParam());
+  const std::size_t n = 8 + rng.NextIndex(120);
+  const std::size_t k = 1 + rng.NextIndex(40);
+  const int bits = rng.NextUniform() < 0.5 ? 1 : 4;
+  AttentionWorkloadConfig wl;
+  wl.head_dim = 32;
+  const auto p = GenerateAttentionProblem(rng, n, wl);
+
+  SparseAttentionConfig cfg;
+  cfg.top_k = k;
+  cfg.bits = bits;
+  SparseAttentionStats stats;
+  const auto out = SparseAttention(p.q, p.k, p.v, cfg, &stats);
+
+  // Shape and per-row candidate invariants.
+  ASSERT_EQ(out.rows(), n);
+  ASSERT_EQ(stats.candidates.size(), n);
+  const std::size_t expect = std::min(k, n);
+  for (const auto& cand : stats.candidates) {
+    EXPECT_EQ(cand.size(), expect);
+    std::unordered_set<std::uint32_t> uniq(cand.begin(), cand.end());
+    EXPECT_EQ(uniq.size(), cand.size());  // no duplicates
+    for (auto j : cand) EXPECT_LT(j, n);
+  }
+  // Output stays in the convex hull of V, coordinate-wise.
+  for (std::size_t c = 0; c < p.v.cols(); ++c) {
+    float lo = p.v(0, c), hi = p.v(0, c);
+    for (std::size_t j = 1; j < n; ++j) {
+      lo = std::min(lo, p.v(j, c));
+      hi = std::max(hi, p.v(j, c));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(out(i, c), lo - 1e-4f);
+      EXPECT_LE(out(i, c), hi + 1e-4f);
+    }
+  }
+}
+
+TEST_P(SeedSweep, MaskedSelectionNeverLeaksPadding) {
+  Rng rng(GetParam() * 31 + 7);
+  const std::size_t n = 16 + rng.NextIndex(100);
+  const std::size_t valid = 1 + rng.NextIndex(n);
+  AttentionWorkloadConfig wl;
+  wl.head_dim = 16;
+  const auto p = GenerateAttentionProblem(rng, n, wl);
+  SparseAttentionConfig cfg;
+  cfg.top_k = 12;
+  cfg.valid_len = valid;
+  SparseAttentionStats stats;
+  SparseAttention(p.q, p.k, p.v, cfg, &stats);
+  for (const auto& cand : stats.candidates) {
+    EXPECT_EQ(cand.size(), std::min<std::size_t>(12, valid));
+    for (auto j : cand) EXPECT_LT(j, valid);
+  }
+}
+
+// ------------------------------------------------------- topk agreement --
+
+TEST_P(SeedSweep, ThreeTopKImplementationsAgree) {
+  Rng rng(GetParam() * 17 + 3);
+  const std::size_t n = 1 + rng.NextIndex(400);
+  const std::size_t k = 1 + rng.NextIndex(64);
+  std::vector<std::int32_t> row(n);
+  for (auto& x : row) {
+    x = static_cast<std::int32_t>(rng.NextIndex(25)) - 12;  // heavy ties
+  }
+  const auto behavioural = TopK(row, k);
+  const auto systolic = SystolicTopK(row, k);
+  ASSERT_EQ(behavioural.size(), systolic.size());
+  for (std::size_t i = 0; i < behavioural.size(); ++i) {
+    EXPECT_EQ(behavioural[i].score, systolic[i].score);
+    EXPECT_EQ(behavioural[i].index, systolic[i].index);
+  }
+}
+
+// ----------------------------------------------------------- pipeline ----
+
+TEST_P(SeedSweep, PipelineScheduleInvariants) {
+  Rng rng(GetParam() * 101 + 13);
+  const std::size_t batch = 1 + rng.NextIndex(12);
+  std::vector<std::size_t> lens(batch);
+  for (auto& l : lens) l = 16 + rng.NextIndex(800);
+
+  const auto ops =
+      EncoderOps(BertBase().encoder, AttentionMode::kSparseTopK, 30);
+  const double s_avg = static_cast<double>(std::accumulate(
+                           lens.begin(), lens.end(), std::size_t{0})) /
+                       static_cast<double>(batch);
+  const auto models =
+      BuildStageTimings(GroupByStageHint(ops), AlveoU280Slr0(), s_avg);
+
+  PipelineSimConfig cfg;
+  cfg.layers = 1 + rng.NextIndex(6);
+  cfg.double_buffer = rng.NextUniform() < 0.7;
+  if (rng.NextUniform() < 0.4) {
+    cfg.replication = {1 + rng.NextIndex(3), 1 + rng.NextIndex(3),
+                       1 + rng.NextIndex(3)};
+  }
+  const auto res = SimulatePipeline(lens, models, cfg);
+
+  // Every (seq, layer, stage) job exists exactly once.
+  EXPECT_EQ(res.jobs.size(), batch * cfg.layers * models.size());
+  // Dataflow order per sequence; makespan covers everything; durations > 0.
+  double max_end = 0;
+  for (const auto& j : res.jobs) {
+    EXPECT_GT(j.end, j.start);
+    max_end = std::max(max_end, j.end);
+  }
+  EXPECT_DOUBLE_EQ(res.makespan, max_end);
+  // Utilization bounded by 1 per stage (instance-aware).
+  for (double u : res.StageUtilization()) {
+    EXPECT_LE(u, 1.0 + 1e-9);
+    EXPECT_GE(u, 0.0);
+  }
+  // Serial time never beats the pipelined makespan.
+  EXPECT_GE(res.SerialTime(), res.makespan - 1e-12);
+}
+
+// ------------------------------------------------------------- batching --
+
+TEST_P(SeedSweep, BatchPoliciesPreserveTokensAndOrderInvariants) {
+  Rng rng(GetParam() * 7 + 1);
+  const std::size_t n = 1 + rng.NextIndex(64);
+  std::vector<std::size_t> lens(n);
+  for (auto& l : lens) l = 1 + rng.NextIndex(800);
+  const std::size_t useful = std::accumulate(lens.begin(), lens.end(),
+                                             std::size_t{0});
+
+  for (auto policy : {BatchPolicy::kPadToMax, BatchPolicy::kMicroBatch,
+                      BatchPolicy::kSortedDescending}) {
+    const auto b = MakeBatch(lens, policy, 4);
+    EXPECT_EQ(b.UsefulTokens(), useful);
+    EXPECT_GE(b.EffectiveTokens(), useful);
+    EXPECT_EQ(b.effective_lengths.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(b.effective_lengths[i], b.original_lengths[i]);
+    }
+  }
+  // Sorted descending is exactly the sorted original lengths.
+  const auto sorted = MakeBatch(lens, BatchPolicy::kSortedDescending);
+  EXPECT_DOUBLE_EQ(sorted.PaddingOverhead(), 1.0);
+}
+
+// ---------------------------------------------------------------- HBM ----
+
+TEST_P(SeedSweep, HbmApportionmentInvariants) {
+  Rng rng(GetParam() * 11 + 5);
+  const auto spec = AlveoU280Slr0();
+  const std::size_t streams = 1 + rng.NextIndex(6);
+  std::vector<double> demand(streams);
+  for (auto& d : demand) {
+    d = rng.NextUniform() < 0.2 ? 0.0 : rng.NextUniform(1.0, 1e9);
+  }
+  const auto ch = ApportionChannels(spec, demand);
+  std::size_t sum = 0;
+  bool any_active = false;
+  for (std::size_t i = 0; i < streams; ++i) {
+    sum += ch[i];
+    if (demand[i] > 0) {
+      any_active = true;
+      EXPECT_GE(ch[i], 1u);
+    } else {
+      EXPECT_EQ(ch[i], 0u);
+    }
+  }
+  if (any_active) {
+    EXPECT_EQ(sum, spec.hbm_channels);
+  }
+}
+
+// ------------------------------------------------------------ quantize ---
+
+TEST_P(SeedSweep, QuantizationMonotoneAndBounded) {
+  Rng rng(GetParam() * 23 + 9);
+  const auto m = rng.NormalMatrix(4, 64, 0.0, 2.0);
+  for (int bits : {1, 4, 8}) {
+    const auto q = Quantize(m, bits);
+    auto src = m.flat();
+    auto codes = q.codes.flat();
+    for (std::size_t a = 0; a < src.size(); ++a) {
+      EXPECT_LE(std::abs(static_cast<int>(codes[a])), MaxCode(bits));
+      for (std::size_t b = a + 1; b < std::min(src.size(), a + 8); ++b) {
+        if (src[a] > src[b]) {
+          EXPECT_GE(codes[a], codes[b]);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------- accelerator --
+
+TEST_P(SeedSweep, AcceleratorReportsConsistent) {
+  Rng rng(GetParam() * 41 + 2);
+  const std::size_t batch = 1 + rng.NextIndex(8);
+  std::vector<std::size_t> lens(batch);
+  for (auto& l : lens) l = 16 + rng.NextIndex(400);
+  const auto model = ModelZoo()[rng.NextIndex(4)];
+
+  AcceleratorConfig cfg;
+  cfg.top_k = 10 + rng.NextIndex(50);
+  const auto rep = RunAccelerator(model, lens, cfg);
+  EXPECT_GT(rep.latency_s, 0);
+  EXPECT_GT(rep.attention_latency_s, 0);
+  EXPECT_LE(rep.attention_latency_s, rep.latency_s + 1e-12);
+  EXPECT_GT(rep.useful_dense_flops, rep.computed_flops * 0.01);
+  EXPECT_EQ(rep.batch_size, batch);
+  EXPECT_EQ(rep.useful_tokens,
+            std::accumulate(lens.begin(), lens.end(), std::size_t{0}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace latte

@@ -1,0 +1,282 @@
+// Tests for the operator graph, Eq. 1 priorities, Algorithm 1 stage
+// allocation and the pipeline resource planner.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "model/config.hpp"
+#include "sched/op_graph.hpp"
+#include "sched/resource_plan.hpp"
+#include "sched/stage_allocation.hpp"
+
+namespace latte {
+namespace {
+
+OpSpec MakeOp(std::string name, double lin_flops, int hint = 1) {
+  OpSpec s;
+  s.name = std::move(name);
+  s.flops.lin = lin_flops;
+  s.stage_hint = hint;
+  return s;
+}
+
+OpGraph BertSparseGraph(double top_k = 30) {
+  const auto cfg = BertBase().encoder;
+  return OpGraph::Chain(
+      EncoderOps(cfg, AttentionMode::kSparseTopK,
+                 static_cast<std::size_t>(top_k)));
+}
+
+// -------------------------------------------------------------- OpGraph --
+
+TEST(OpGraphTest, ChainEdges) {
+  const auto g = OpGraph::Chain({MakeOp("a", 1), MakeOp("b", 2),
+                                 MakeOp("c", 3)});
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.node(0).succ, std::vector<std::size_t>{1});
+  EXPECT_EQ(g.node(1).pred, std::vector<std::size_t>{0});
+  EXPECT_TRUE(g.node(2).succ.empty());
+}
+
+TEST(OpGraphTest, TopoOrderOfChainIsIdentity) {
+  const auto g = OpGraph::Chain({MakeOp("a", 1), MakeOp("b", 2),
+                                 MakeOp("c", 3)});
+  const auto topo = g.TopoOrder();
+  EXPECT_EQ(topo, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(OpGraphTest, CycleDetected) {
+  OpGraph g;
+  const auto a = g.AddNode(MakeOp("a", 1));
+  const auto b = g.AddNode(MakeOp("b", 1));
+  g.AddEdge(a, b);
+  g.AddEdge(b, a);
+  EXPECT_THROW(g.TopoOrder(), std::runtime_error);
+}
+
+TEST(OpGraphTest, SelfEdgeRejected) {
+  OpGraph g;
+  const auto a = g.AddNode(MakeOp("a", 1));
+  EXPECT_THROW(g.AddEdge(a, a), std::invalid_argument);
+  EXPECT_THROW(g.AddEdge(a, 99), std::out_of_range);
+}
+
+TEST(OpGraphTest, PrioritiesAreSuffixSumsOnAChain) {
+  // Eq. 1 on a chain: P(v) = W(v) + P(next).
+  const auto g = OpGraph::Chain({MakeOp("a", 10), MakeOp("b", 20),
+                                 MakeOp("c", 5)});
+  const auto p = g.Priorities(1.0);
+  EXPECT_DOUBLE_EQ(p[2], 5.0);
+  EXPECT_DOUBLE_EQ(p[1], 25.0);
+  EXPECT_DOUBLE_EQ(p[0], 35.0);
+}
+
+TEST(OpGraphTest, PriorityTakesMaxOverSuccessors) {
+  OpGraph g;
+  const auto a = g.AddNode(MakeOp("a", 1));
+  const auto b = g.AddNode(MakeOp("b", 100));
+  const auto c = g.AddNode(MakeOp("c", 2));
+  g.AddEdge(a, b);
+  g.AddEdge(a, c);
+  const auto p = g.Priorities(1.0);
+  EXPECT_DOUBLE_EQ(p[a], 1.0 + 100.0);  // max(P(b), P(c)) = 100
+}
+
+TEST(OpGraphTest, PrioritiesDecreaseAlongEncoderChain) {
+  const auto g = BertSparseGraph();
+  const auto p = g.Priorities(177);
+  for (std::size_t v = 1; v < g.size(); ++v) {
+    EXPECT_GT(p[v - 1], p[v]);
+  }
+}
+
+// --------------------------------------------------------- Algorithm 1 ---
+
+TEST(StageAllocationTest, EveryOperatorPlacedExactlyOnce) {
+  const auto g = BertSparseGraph();
+  const auto res = AllocateStages(g, 177);
+  std::vector<int> seen(g.size(), 0);
+  for (const auto& stage : res.stages) {
+    for (const auto& a : stage.ops) ++seen[a.op];
+  }
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    EXPECT_EQ(seen[v], 1) << "op " << g.node(v).spec.name;
+  }
+}
+
+TEST(StageAllocationTest, StagesAreContiguousInDataflowOrder) {
+  const auto g = BertSparseGraph();
+  const auto res = AllocateStages(g, 177);
+  // On a chain visited in priority (= dataflow) order, each stage must be a
+  // contiguous vertex range.
+  std::size_t expected = 0;
+  for (const auto& stage : res.stages) {
+    for (const auto& a : stage.ops) {
+      EXPECT_EQ(a.op, expected);
+      ++expected;
+    }
+  }
+}
+
+TEST(StageAllocationTest, QkvAndAtSelShareStageOne) {
+  // The Fig 2(a) boundary the algorithm must reproduce: the big QKV matmul
+  // and the LUT-fabric At-Sel coexist in stage 1 (At-Sel costs no DSPs).
+  const auto g = BertSparseGraph();
+  const auto res = AllocateStages(g, 177);
+  ASSERT_GE(res.stages.size(), 2u);
+  EXPECT_EQ(res.StageOf(0), res.StageOf(1));  // QKV with At-Sel
+}
+
+TEST(StageAllocationTest, RespectsDspBudget) {
+  const auto g = BertSparseGraph();
+  AllocatorConfig cfg;
+  cfg.dsp_budget = 3000;
+  const auto res = AllocateStages(g, 177, cfg);
+  EXPECT_LE(res.TotalDsp(g), cfg.dsp_budget);
+}
+
+TEST(StageAllocationTest, TighterBudgetNeverMergesStages) {
+  const auto g = BertSparseGraph();
+  AllocatorConfig loose;
+  loose.dsp_budget = 6000;
+  AllocatorConfig tight;
+  tight.dsp_budget = 1200;
+  const auto a = AllocateStages(g, 177, loose);
+  const auto b = AllocateStages(g, 177, tight);
+  EXPECT_GE(b.stages.size(), a.stages.size());
+}
+
+TEST(StageAllocationTest, SingleOpGraph) {
+  const auto g = OpGraph::Chain({MakeOp("only", 42)});
+  const auto res = AllocateStages(g, 10);
+  ASSERT_EQ(res.stages.size(), 1u);
+  EXPECT_EQ(res.stages[0].ops.size(), 1u);
+}
+
+TEST(StageAllocationTest, EmptyGraph) {
+  OpGraph g;
+  EXPECT_TRUE(AllocateStages(g, 10).stages.empty());
+}
+
+TEST(StageAllocationTest, EqualWeightsPackIntoOneStage) {
+  const auto g = OpGraph::Chain(
+      {MakeOp("a", 100), MakeOp("b", 100), MakeOp("c", 100)});
+  const auto res = AllocateStages(g, 1.0);
+  EXPECT_EQ(res.stages.size(), 1u);  // ceil ratios are 1, budget huge
+}
+
+TEST(StageAllocationTest, HugeWeightMismatchOpensNewStage) {
+  AllocatorConfig cfg;
+  cfg.dsp_budget = 100;
+  const auto g = OpGraph::Chain({MakeOp("big", 1e9), MakeOp("small", 1.0)});
+  const auto res = AllocateStages(g, 1.0, cfg);
+  // Rebalancing would give "big" 1e9 lanes; must split instead.
+  EXPECT_EQ(res.stages.size(), 2u);
+}
+
+// ----------------------------------------------------- CanonicalStages ---
+
+TEST(CanonicalStagesTest, ThreeStagesForEncoder) {
+  const auto g = BertSparseGraph();
+  const auto res = CanonicalStages(g, 177);
+  ASSERT_EQ(res.stages.size(), 3u);
+  // Stage membership mirrors Fig 2(a).
+  EXPECT_EQ(res.StageOf(0), 0u);  // QKV
+  EXPECT_EQ(res.StageOf(1), 0u);  // At-Sel
+}
+
+TEST(CanonicalStagesTest, ParallelismProportionalToWeight) {
+  const auto g = BertSparseGraph();
+  const auto res = CanonicalStages(g, 177);
+  const auto w = g.Weights(177);
+  for (const auto& stage : res.stages) {
+    double wmin = 1e300;
+    for (const auto& a : stage.ops) wmin = std::min(wmin, w[a.op]);
+    for (const auto& a : stage.ops) {
+      EXPECT_DOUBLE_EQ(a.parallelism, std::ceil(w[a.op] / wmin));
+    }
+  }
+}
+
+// ------------------------------------------------------------- Planner ---
+
+TEST(PlannerTest, ProportionalSplitBalancesStages) {
+  PlannerConfig cfg;
+  cfg.total_dsp = 3000;
+  const auto plan = PlanPipeline({100.0, 200.0, 300.0}, cfg);
+  ASSERT_EQ(plan.stages.size(), 3u);
+  EXPECT_NEAR(plan.stages[0].dsp, 500, 1);
+  EXPECT_NEAR(plan.stages[1].dsp, 1000, 1);
+  EXPECT_NEAR(plan.stages[2].dsp, 1500, 1);
+  // Balanced: every stage sustains the same token rate.
+  EXPECT_NEAR(plan.BalanceRatio(200e6), 1.0, 1e-9);
+}
+
+TEST(PlannerTest, ThroughputIsSlowestStage) {
+  PlannerConfig cfg;
+  cfg.total_dsp = 300;
+  const auto plan = PlanPipeline({100.0, 100.0, 100.0}, cfg);
+  const double rate = plan.TokensPerSecond(200e6);
+  EXPECT_NEAR(rate, 100.0 * 2 * 200e6 / 100.0, 1);
+}
+
+TEST(PlannerTest, ReplicationKicksInAboveInstanceCap) {
+  PlannerConfig cfg;
+  cfg.total_dsp = 4000;
+  cfg.max_dsp_per_instance = 1000;
+  const auto plan = PlanPipeline({1.0, 9.0}, cfg);  // stage 2 gets 3600 DSPs
+  EXPECT_EQ(plan.stages[0].replication, 1u);
+  EXPECT_EQ(plan.stages[1].replication, 4u);
+}
+
+TEST(PlannerTest, ZeroWorkStageGetsInfiniteRate) {
+  const auto plan = PlanPipeline({0.0, 10.0});
+  EXPECT_TRUE(std::isinf(plan.stages[0].TokensPerSecond(200e6)));
+}
+
+TEST(PlannerTest, NegativeWorkRejected) {
+  EXPECT_THROW(PlanPipeline({-1.0}), std::invalid_argument);
+}
+
+TEST(PlannerTest, StageFlopsPerTokenFromAllocation) {
+  const auto g = BertSparseGraph();
+  const auto alloc = CanonicalStages(g, 177);
+  const auto work = StageFlopsPerToken(g, alloc, 177);
+  ASSERT_EQ(work.size(), 3u);
+  // Stage 3 (FFN) per-token work must dominate stage 2 (sparse attention).
+  EXPECT_GT(work[2], work[1]);
+  // All stages do nonzero work.
+  for (double w : work) EXPECT_GT(w, 0.0);
+}
+
+// Property sweep: Algorithm 1 invariants hold across budgets and lengths.
+class AllocationProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(AllocationProperty, InvariantsHold) {
+  const auto [budget, s_avg] = GetParam();
+  const auto g = BertSparseGraph();
+  AllocatorConfig cfg;
+  cfg.dsp_budget = budget;
+  const auto res = AllocateStages(g, s_avg, cfg);
+  // 1. Budget respected.
+  EXPECT_LE(res.TotalDsp(g), budget * (1 + 1e-9));
+  // 2. Complete, duplicate-free cover.
+  std::size_t count = 0;
+  for (const auto& st : res.stages) count += st.ops.size();
+  EXPECT_EQ(count, g.size());
+  // 3. Parallelism at least 1 everywhere.
+  for (const auto& st : res.stages) {
+    for (const auto& a : st.ops) EXPECT_GE(a.parallelism, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetsAndLengths, AllocationProperty,
+    ::testing::Combine(::testing::Values(500.0, 1500.0, 3000.0, 9000.0),
+                       ::testing::Values(53.0, 177.0, 821.0)));
+
+}  // namespace
+}  // namespace latte

@@ -1,0 +1,238 @@
+// Tests for dataset specs, the length sampler, batching policies and the
+// synthetic attention workload generator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "workload/batch.hpp"
+#include "workload/dataset.hpp"
+#include "workload/synthetic.hpp"
+
+namespace latte {
+namespace {
+
+// -------------------------------------------------------------- Dataset --
+
+TEST(DatasetTest, Table1Statistics) {
+  const auto squad = Squad();
+  EXPECT_DOUBLE_EQ(squad.avg_len, 177);
+  EXPECT_DOUBLE_EQ(squad.max_len, 821);
+  EXPECT_NEAR(squad.MaxAvgRatio(), 4.6, 0.05);
+  EXPECT_EQ(squad.metric, Metric::kF1);
+
+  const auto rte = Rte();
+  EXPECT_DOUBLE_EQ(rte.avg_len, 68);
+  EXPECT_NEAR(rte.MaxAvgRatio(), 3.7, 0.05);
+  EXPECT_EQ(rte.metric, Metric::kAccuracy);
+
+  const auto mrpc = Mrpc();
+  EXPECT_NEAR(mrpc.MaxAvgRatio(), 1.6, 0.05);
+}
+
+TEST(DatasetTest, ZooOrder) {
+  const auto zoo = DatasetZoo();
+  ASSERT_EQ(zoo.size(), 3u);
+  EXPECT_EQ(zoo[0].name, "SQuAD v1.1");
+  EXPECT_EQ(zoo[1].name, "RTE");
+  EXPECT_EQ(zoo[2].name, "MRPC");
+}
+
+TEST(LengthSamplerTest, SamplesWithinBounds) {
+  for (const auto& spec : DatasetZoo()) {
+    LengthSampler sampler(spec);
+    Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+      const auto n = sampler.Sample(rng);
+      EXPECT_GE(n, static_cast<std::size_t>(spec.min_len));
+      EXPECT_LE(n, static_cast<std::size_t>(spec.max_len));
+    }
+  }
+}
+
+TEST(LengthSamplerTest, MeanApproximatelyMatchesSpec) {
+  for (const auto& spec : DatasetZoo()) {
+    LengthSampler sampler(spec);
+    Rng rng(7);
+    const auto lens = sampler.SampleMany(rng, 20000);
+    const double mean =
+        static_cast<double>(std::accumulate(lens.begin(), lens.end(),
+                                            std::size_t{0})) /
+        static_cast<double>(lens.size());
+    // Truncation at max shifts the mean slightly below the target.
+    EXPECT_NEAR(mean, spec.avg_len, spec.avg_len * 0.12) << spec.name;
+  }
+}
+
+TEST(LengthSamplerTest, LongTailExistsForSquad) {
+  LengthSampler sampler(Squad());
+  Rng rng(13);
+  const auto lens = sampler.SampleMany(rng, 20000);
+  const auto mx = *std::max_element(lens.begin(), lens.end());
+  EXPECT_GT(mx, 600u);  // the 821 tail is reachable
+}
+
+TEST(LengthSamplerTest, Deterministic) {
+  LengthSampler sampler(Rte());
+  Rng a(5), b(5);
+  EXPECT_EQ(sampler.SampleMany(a, 100), sampler.SampleMany(b, 100));
+}
+
+// ---------------------------------------------------------------- Batch --
+
+TEST(BatchTest, PadToMaxUsesBatchMaximum) {
+  const auto b = MakeBatch({10, 30, 20}, BatchPolicy::kPadToMax);
+  EXPECT_EQ(b.effective_lengths, (std::vector<std::size_t>{30, 30, 30}));
+  EXPECT_EQ(b.UsefulTokens(), 60u);
+  EXPECT_EQ(b.EffectiveTokens(), 90u);
+  EXPECT_DOUBLE_EQ(b.PaddingOverhead(), 1.5);
+}
+
+TEST(BatchTest, SortedDescendingNoPadding) {
+  const auto b = MakeBatch({10, 30, 20}, BatchPolicy::kSortedDescending);
+  EXPECT_EQ(b.effective_lengths, (std::vector<std::size_t>{30, 20, 10}));
+  EXPECT_DOUBLE_EQ(b.PaddingOverhead(), 1.0);
+}
+
+TEST(BatchTest, MicroBatchPadsWithinGroups) {
+  const auto b =
+      MakeBatch({10, 30, 20, 40}, BatchPolicy::kMicroBatch, /*micro=*/2);
+  // Sorted desc: 40 30 | 20 10; padded within micro-batches of 2.
+  EXPECT_EQ(b.effective_lengths, (std::vector<std::size_t>{40, 40, 20, 20}));
+  EXPECT_EQ(b.EffectiveTokens(), 120u);
+}
+
+TEST(BatchTest, MicroBatchTailGroupHandled) {
+  const auto b = MakeBatch({5, 9, 7}, BatchPolicy::kMicroBatch, 2);
+  // Sorted: 9 7 | 5.
+  EXPECT_EQ(b.effective_lengths, (std::vector<std::size_t>{9, 9, 5}));
+}
+
+TEST(BatchTest, MicroBatchBetweenPadAndSorted) {
+  std::vector<std::size_t> lens = {821, 400, 200, 150, 120, 100, 80, 60};
+  const auto pad = MakeBatch(lens, BatchPolicy::kPadToMax);
+  const auto micro = MakeBatch(lens, BatchPolicy::kMicroBatch, 2);
+  const auto sorted = MakeBatch(lens, BatchPolicy::kSortedDescending);
+  EXPECT_LT(micro.EffectiveTokens(), pad.EffectiveTokens());
+  EXPECT_GT(micro.EffectiveTokens(), sorted.EffectiveTokens());
+}
+
+TEST(BatchTest, EmptyBatch) {
+  const auto b = MakeBatch({}, BatchPolicy::kPadToMax);
+  EXPECT_TRUE(b.effective_lengths.empty());
+  EXPECT_DOUBLE_EQ(b.PaddingOverhead(), 1.0);
+}
+
+TEST(BatchTest, ZeroMicroBatchRejected) {
+  EXPECT_THROW(MakeBatch({1, 2}, BatchPolicy::kMicroBatch, 0),
+               std::invalid_argument);
+}
+
+TEST(BatchTest, SquadPaddingOverheadMatchesTable1) {
+  // A large SQuAD-shaped batch padded to its max suffers close to the
+  // dataset's Max/Avg = 4.6 overhead when the batch max hits the tail.
+  LengthSampler sampler(Squad());
+  Rng rng(3);
+  auto lens = sampler.SampleMany(rng, 256);
+  lens.push_back(821);  // ensure the tail is present
+  const auto b = MakeBatch(lens, BatchPolicy::kPadToMax);
+  EXPECT_GT(b.PaddingOverhead(), 3.0);
+  EXPECT_LT(b.PaddingOverhead(), 6.0);
+}
+
+// ------------------------------------------------------------ Synthetic --
+
+TEST(SyntheticTest, ShapesAndDeterminism) {
+  AttentionWorkloadConfig cfg;
+  cfg.head_dim = 32;
+  Rng a(1), b(1);
+  const auto p1 = GenerateAttentionProblem(a, 50, cfg);
+  const auto p2 = GenerateAttentionProblem(b, 50, cfg);
+  EXPECT_EQ(p1.q.rows(), 50u);
+  EXPECT_EQ(p1.q.cols(), 32u);
+  EXPECT_EQ(p1.q, p2.q);
+  EXPECT_EQ(p1.k, p2.k);
+  EXPECT_EQ(p1.v, p2.v);
+}
+
+TEST(SyntheticTest, ScoresAreConcentrated) {
+  // The generator's purpose: most softmax mass in few keys.  Check that the
+  // exact top-16 of 128 keys holds > 60% of the mass on average.
+  Rng rng(2);
+  AttentionWorkloadConfig cfg;
+  const auto p = GenerateAttentionProblem(rng, 128, cfg);
+  // Compute softmax mass of exact top 16 per row.
+  double mass_top = 0;
+  for (std::size_t i = 0; i < 128; ++i) {
+    std::vector<double> probs(128);
+    double mx = -1e30;
+    for (std::size_t j = 0; j < 128; ++j) {
+      double dot = 0;
+      for (std::size_t c = 0; c < p.q.cols(); ++c) dot += p.q(i, c) * p.k(j, c);
+      probs[j] = dot / std::sqrt(static_cast<double>(p.q.cols()));
+      mx = std::max(mx, probs[j]);
+    }
+    double sum = 0;
+    for (auto& x : probs) {
+      x = std::exp(x - mx);
+      sum += x;
+    }
+    std::sort(probs.begin(), probs.end(), std::greater<>());
+    double top = 0;
+    for (int t = 0; t < 16; ++t) top += probs[static_cast<std::size_t>(t)];
+    mass_top += top / sum;
+  }
+  EXPECT_GT(mass_top / 128.0, 0.6);
+}
+
+TEST(SyntheticTest, SignalStrengthIncreasesConcentration) {
+  auto mass_for = [](double signal) {
+    Rng rng(4);
+    AttentionWorkloadConfig cfg;
+    cfg.signal = signal;
+    const auto p = GenerateAttentionProblem(rng, 96, cfg);
+    // top-8 exact mass, averaged
+    double acc = 0;
+    for (std::size_t i = 0; i < 96; ++i) {
+      std::vector<double> s(96);
+      for (std::size_t j = 0; j < 96; ++j) {
+        double dot = 0;
+        for (std::size_t c = 0; c < p.q.cols(); ++c) {
+          dot += p.q(i, c) * p.k(j, c);
+        }
+        s[j] = dot / 8.0;
+      }
+      const double mx = *std::max_element(s.begin(), s.end());
+      double sum = 0;
+      for (auto& x : s) {
+        x = std::exp(x - mx);
+        sum += x;
+      }
+      std::sort(s.begin(), s.end(), std::greater<>());
+      double top = 0;
+      for (int t = 0; t < 8; ++t) top += s[static_cast<std::size_t>(t)];
+      acc += top / sum;
+    }
+    return acc / 96.0;
+  };
+  EXPECT_GT(mass_for(2.0), mass_for(0.3));
+}
+
+TEST(SyntheticTest, DatasetWorkloadsDiffer) {
+  const auto squad = WorkloadForDataset(Squad());
+  const auto mrpc = WorkloadForDataset(Mrpc());
+  EXPECT_NE(squad.signal, mrpc.signal);
+  EXPECT_EQ(squad.head_dim, 64u);
+}
+
+TEST(SyntheticTest, EmbeddingShape) {
+  Rng rng(5);
+  const auto x = MakeInputEmbedding(rng, 7, 96);
+  EXPECT_EQ(x.rows(), 7u);
+  EXPECT_EQ(x.cols(), 96u);
+}
+
+}  // namespace
+}  // namespace latte
