@@ -82,6 +82,40 @@ void BM_SparseAttentionTop30(benchmark::State& state) {
 }
 BENCHMARK(BM_SparseAttentionTop30)->Arg(128)->Arg(256)->Arg(512)->Complexity();
 
+void BM_SparseAttentionWorkspace(benchmark::State& state) {
+  const auto p = Problem(static_cast<std::size_t>(state.range(0)));
+  SparseAttentionConfig cfg;
+  cfg.top_k = 30;
+  // Scratch persists across iterations, as it does across batch items on
+  // a BatchRunner worker: zero steady-state allocations in stage 2.
+  AttentionScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SparseAttention(p.q, p.k, p.v, cfg, nullptr, scratch));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SparseAttentionWorkspace)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Complexity();
+
+void BM_FusedScoreKernelWorkspace(benchmark::State& state) {
+  Rng rng(8);
+  const auto q = rng.NormalMatrix(1, 64, 0.0, 1.0);
+  const auto ks = rng.NormalMatrix(static_cast<std::size_t>(state.range(0)),
+                                   64, 0.0, 1.0);
+  FusedKernelConfig cfg;
+  cfg.scale = 0.125f;
+  FusedScoreResult out;
+  for (auto _ : state) {
+    FusedScoreKernel(q.row(0), ks, cfg, out);
+    benchmark::DoNotOptimize(out.sum);
+  }
+}
+BENCHMARK(BM_FusedScoreKernelWorkspace)->Arg(30)->Arg(128);
+
 void BM_EncoderLayerDense(benchmark::State& state) {
   Rng rng(9);
   EncoderConfig cfg;

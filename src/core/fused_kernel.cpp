@@ -9,6 +9,13 @@ namespace latte {
 FusedScoreResult FusedScoreKernel(std::span<const float> q_row,
                                   const MatrixF& ks,
                                   const FusedKernelConfig& cfg) {
+  FusedScoreResult res;
+  FusedScoreKernel(q_row, ks, cfg, res);
+  return res;
+}
+
+void FusedScoreKernel(std::span<const float> q_row, const MatrixF& ks,
+                      const FusedKernelConfig& cfg, FusedScoreResult& out) {
   if (ks.rows() > 0 && ks.cols() != q_row.size()) {
     throw std::invalid_argument("FusedScoreKernel: dim mismatch");
   }
@@ -19,9 +26,16 @@ FusedScoreResult FusedScoreKernel(std::span<const float> q_row,
     throw std::invalid_argument("FusedScoreKernel: unroll must be >= 1");
   }
 
-  FusedScoreResult res;
-  res.exp_scores.resize(ks.rows());
+  out.exp_scores.resize(ks.rows());
+  out.sum = 0.0;
   const std::size_t d = q_row.size();
+  if (d == 0) {
+    // The fused tail never runs (it fires on the last reduction iteration,
+    // and there are none): every candidate gets zero weight, exactly what
+    // a freshly value-initialized result holds.  Explicit so a reused
+    // scratch `out` cannot leak scores from a previous call.
+    std::fill(out.exp_scores.begin(), out.exp_scores.end(), 0.f);
+  }
 
   // Fig 4 loop nest: outer over reduction dim i, inner over candidates j,
   // II=1 with UNROLL factor p on the inner loop.  The tail (scale, mask,
@@ -38,14 +52,14 @@ FusedScoreResult FusedScoreKernel(std::span<const float> q_row,
         if (!cfg.masked.empty() && cfg.masked[j]) {
           // Masked candidates contribute exactly zero weight (the hardware
           // gates the exp LUT output rather than feeding it -inf).
-          res.exp_scores[j] = 0.f;
+          out.exp_scores[j] = 0.f;
         } else {
           // Saturating exponent: the hardware exp LUT clamps its input.
           const float arg = std::clamp(acc, -80.f, 80.f);
           const float e =
               cfg.exp_lut != nullptr ? cfg.exp_lut->Eval(arg) : std::exp(arg);
-          res.exp_scores[j] = e;
-          res.sum += e;
+          out.exp_scores[j] = e;
+          out.sum += e;
         }
       }
     }
@@ -54,27 +68,35 @@ FusedScoreResult FusedScoreKernel(std::span<const float> q_row,
   // Cycle model: the inner reduction is unrolled by p, II=1, so one
   // candidate costs ceil(d/p) cycles; candidates stream back to back.
   const std::size_t per_cand = (d + cfg.unroll - 1) / cfg.unroll;
-  res.cycles = per_cand * ks.rows();
-  return res;
+  out.cycles = per_cand * ks.rows();
 }
 
 std::vector<float> WeightedContext(const FusedScoreResult& scores,
                                    const MatrixF& vs) {
+  std::vector<float> z(vs.cols(), 0.f);
+  WeightedContext(scores, vs, std::span<float>(z));
+  return z;
+}
+
+void WeightedContext(const FusedScoreResult& scores, const MatrixF& vs,
+                     std::span<float> out) {
   if (scores.exp_scores.size() != vs.rows()) {
     throw std::invalid_argument("WeightedContext: candidate count mismatch");
   }
-  std::vector<float> z(vs.cols(), 0.f);
+  if (out.size() != vs.cols()) {
+    throw std::invalid_argument("WeightedContext: output length mismatch");
+  }
+  std::fill(out.begin(), out.end(), 0.f);
   for (std::size_t j = 0; j < vs.rows(); ++j) {
     const float w = scores.exp_scores[j];
     if (w == 0.f) continue;
     auto vj = vs.row(j);
-    for (std::size_t c = 0; c < vs.cols(); ++c) z[c] += w * vj[c];
+    for (std::size_t c = 0; c < vs.cols(); ++c) out[c] += w * vj[c];
   }
   if (scores.sum > 0.0) {
     const float inv = static_cast<float>(1.0 / scores.sum);
-    for (auto& x : z) x *= inv;
+    for (auto& x : out) x *= inv;
   }
-  return z;
 }
 
 }  // namespace latte

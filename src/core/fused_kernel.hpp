@@ -43,9 +43,23 @@ FusedScoreResult FusedScoreKernel(std::span<const float> q_row,
                                   const MatrixF& ks,
                                   const FusedKernelConfig& cfg);
 
+/// Workspace variant: writes the result into `out`, reusing the capacity of
+/// `out.exp_scores` instead of allocating.  Bit-identical to the
+/// value-returning overload; the batch runtime calls this with a per-worker
+/// scratch FusedScoreResult so the hot loop stays allocation-free.
+void FusedScoreKernel(std::span<const float> q_row, const MatrixF& ks,
+                      const FusedKernelConfig& cfg, FusedScoreResult& out);
+
 /// Stage 2.3: Z_i = (sum_j exp_scores[j] * V_j) / sum (Fig 2(a)).
 /// `vs` is (|candidates| x d_v); returns the context row of length d_v.
 std::vector<float> WeightedContext(const FusedScoreResult& scores,
                                    const MatrixF& vs);
+
+/// Workspace variant: accumulates the context row into `out`, which must
+/// have length vs.cols().  `out` is fully overwritten (zeroed first), so it
+/// can be a reused scratch span.  Bit-identical to the value-returning
+/// overload.
+void WeightedContext(const FusedScoreResult& scores, const MatrixF& vs,
+                     std::span<float> out);
 
 }  // namespace latte

@@ -9,20 +9,34 @@ namespace {
 /// Gathers the candidate rows of `src` into a dense (|idx| x d) block
 /// (Stage 2.1: data loading from the Top-k index list).
 MatrixF GatherRows(const MatrixF& src, std::span<const std::uint32_t> idx) {
-  MatrixF out(idx.size(), src.cols());
-  for (std::size_t r = 0; r < idx.size(); ++r) {
-    auto s = src.row(idx[r]);
-    auto d = out.row(r);
-    for (std::size_t c = 0; c < s.size(); ++c) d[c] = s[c];
-  }
+  MatrixF out;
+  GatherRowsInto(src, idx, out);
   return out;
 }
 
 }  // namespace
 
+void GatherRowsInto(const MatrixF& src, std::span<const std::uint32_t> idx,
+                    MatrixF& out) {
+  out.Resize(idx.size(), src.cols());
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    auto s = src.row(idx[r]);
+    auto d = out.row(r);
+    for (std::size_t c = 0; c < s.size(); ++c) d[c] = s[c];
+  }
+}
+
 MatrixF SparseAttention(const MatrixF& q, const MatrixF& k, const MatrixF& v,
                         const SparseAttentionConfig& cfg,
                         SparseAttentionStats* stats) {
+  AttentionScratch scratch;
+  return SparseAttention(q, k, v, cfg, stats, scratch);
+}
+
+MatrixF SparseAttention(const MatrixF& q, const MatrixF& k, const MatrixF& v,
+                        const SparseAttentionConfig& cfg,
+                        SparseAttentionStats* stats,
+                        AttentionScratch& scratch) {
   if (q.cols() != k.cols() || k.rows() != v.rows()) {
     throw std::invalid_argument("SparseAttention: shape mismatch");
   }
@@ -41,29 +55,31 @@ MatrixF SparseAttention(const MatrixF& q, const MatrixF& k, const MatrixF& v,
   fk.scale = 1.f / std::sqrt(static_cast<float>(d));
   fk.unroll = cfg.unroll;
 
+  scratch.ReserveContext(v.cols());
+  const std::span<float> z(scratch.ctx.data(), v.cols());
+
   std::size_t fused_cycles = 0;
   std::size_t exact_macs = 0;
+  std::size_t selected_total = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const auto& cand = sel.candidates[i];
-    // Stage 2.1: gather Ks/Vs for this query row.
-    const MatrixF ks = GatherRows(k, cand);
-    const MatrixF vs = GatherRows(v, cand);
+    selected_total += cand.size();
+    // Stage 2.1: gather Ks/Vs for this query row into the reused buffers.
+    GatherRowsInto(k, cand, scratch.ks);
+    GatherRowsInto(v, cand, scratch.vs);
     // Stage 2.2: fused exact score computation (Fig 4).
-    const FusedScoreResult fs = FusedScoreKernel(q.row(i), ks, fk);
-    fused_cycles += fs.cycles;
+    FusedScoreKernel(q.row(i), scratch.ks, fk, scratch.scores);
+    fused_cycles += scratch.scores.cycles;
     exact_macs += cand.size() * d * 2;  // scores + context
     // Stage 2.3: weighted context.
-    const std::vector<float> z = WeightedContext(fs, vs);
+    WeightedContext(scratch.scores, scratch.vs, z);
     auto dst = out.row(i);
     for (std::size_t c = 0; c < z.size(); ++c) dst[c] = z[c];
   }
 
   if (stats != nullptr) {
     stats->n = n;
-    const std::size_t valid =
-        cfg.valid_len == 0 ? k.rows()
-                           : std::min<std::size_t>(cfg.valid_len, k.rows());
-    stats->selected_per_row = std::min<std::size_t>(cfg.top_k, valid);
+    stats->selected_per_row = n > 0 ? selected_total / n : 0;
     stats->lut_multiplies = sel.lut_multiplies;
     stats->sorter_cycles = sel.sorter_cycles;
     stats->fused_cycles = fused_cycles;

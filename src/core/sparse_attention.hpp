@@ -33,13 +33,30 @@ struct SparseAttentionConfig {
 /// timing layers.
 struct SparseAttentionStats {
   std::size_t n = 0;                ///< query/key count
-  std::size_t selected_per_row = 0; ///< min(top_k, n)
+  std::size_t selected_per_row = 0; ///< mean candidates per query row
   std::size_t lut_multiplies = 0;   ///< quantized score LUT work
   std::size_t sorter_cycles = 0;    ///< streaming Top-k cycles
   std::size_t fused_cycles = 0;     ///< Stage 2.2 cycles
   std::size_t exact_macs = 0;       ///< full-precision MACs (score + context)
   /// Candidates per query row, for fidelity metrics.
   std::vector<std::vector<std::uint32_t>> candidates;
+};
+
+/// Reusable scratch for the Stage 2 hot loop: gather buffers for the
+/// candidate K/V rows, the fused-kernel score result and the context row.
+/// One scratch serves one thread; the batch runtime keeps one per worker
+/// (wrapped in a runtime::Workspace) so repeated SparseAttention calls do
+/// zero heap allocation once the buffers have grown to steady state.
+struct AttentionScratch {
+  MatrixF ks;               ///< gathered candidate keys, (top_k x d)
+  MatrixF vs;               ///< gathered candidate values, (top_k x d_v)
+  FusedScoreResult scores;  ///< fused-kernel output, reused per row
+  std::vector<float> ctx;   ///< context row, length d_v
+
+  /// Grows `ctx` to `d_v` without shrinking (capacity is sticky).
+  void ReserveContext(std::size_t d_v) {
+    if (ctx.size() < d_v) ctx.resize(d_v);
+  }
 };
 
 /// Sparse attention for one head.
@@ -49,6 +66,20 @@ struct SparseAttentionStats {
 MatrixF SparseAttention(const MatrixF& q, const MatrixF& k, const MatrixF& v,
                         const SparseAttentionConfig& cfg,
                         SparseAttentionStats* stats = nullptr);
+
+/// Workspace variant: identical math and bit-identical output, but every
+/// per-row temporary (gathered K/V blocks, exp-score buffer, context row)
+/// lives in `scratch` and is reused across rows and across calls.  This is
+/// the operator the batched execution runtime drives.
+MatrixF SparseAttention(const MatrixF& q, const MatrixF& k, const MatrixF& v,
+                        const SparseAttentionConfig& cfg,
+                        SparseAttentionStats* stats,
+                        AttentionScratch& scratch);
+
+/// Gathers the candidate rows of `src` into `out`, resizing it to
+/// (|idx| x src.cols()) while reusing its allocation (Stage 2.1 load).
+void GatherRowsInto(const MatrixF& src, std::span<const std::uint32_t> idx,
+                    MatrixF& out);
 
 /// Adapts SparseAttention to the encoder's pluggable AttentionFn.
 AttentionFn MakeSparseAttentionFn(SparseAttentionConfig cfg);

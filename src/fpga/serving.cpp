@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace latte {
 namespace {
@@ -18,15 +19,37 @@ double Percentile(std::vector<double>& sorted, double p) {
 
 }  // namespace
 
+void ValidateServingConfig(const ServingConfig& cfg) {
+  // Negated comparisons so NaN fails validation instead of slipping past.
+  if (!(cfg.arrival_rate_rps > 0)) {
+    throw std::invalid_argument(
+        "ServingConfig: arrival_rate_rps must be > 0 (got " +
+        std::to_string(cfg.arrival_rate_rps) + ")");
+  }
+  if (cfg.max_batch == 0) {
+    throw std::invalid_argument(
+        "ServingConfig: max_batch must be >= 1 (the batch former needs "
+        "capacity for at least one request)");
+  }
+  if (cfg.requests == 0) {
+    throw std::invalid_argument(
+        "ServingConfig: requests must be >= 1 (nothing to simulate)");
+  }
+  if (cfg.workers == 0) {
+    throw std::invalid_argument(
+        "ServingConfig: workers must be >= 1 (no backend to dispatch to)");
+  }
+  if (!(cfg.batch_timeout_s >= 0)) {
+    throw std::invalid_argument(
+        "ServingConfig: batch_timeout_s must be >= 0 (got " +
+        std::to_string(cfg.batch_timeout_s) + ")");
+  }
+}
+
 ServingReport SimulateServing(const ModelConfig& model,
                               const DatasetSpec& dataset,
                               const ServingConfig& cfg) {
-  if (cfg.arrival_rate_rps <= 0) {
-    throw std::invalid_argument("SimulateServing: arrival rate must be > 0");
-  }
-  if (cfg.max_batch == 0 || cfg.requests == 0) {
-    throw std::invalid_argument("SimulateServing: empty scenario");
-  }
+  ValidateServingConfig(cfg);
 
   // Generate the request stream: exponential inter-arrival gaps and
   // dataset-shaped lengths.
@@ -48,14 +71,18 @@ ServingReport SimulateServing(const ModelConfig& model,
 
   std::vector<double> latencies;
   latencies.reserve(cfg.requests);
-  double device_free = 0;
+  // One entry per backend worker: the time it next becomes free.  The
+  // batch former always dispatches to the earliest-free worker, the same
+  // policy the BatchRunner's dynamic cursor implements on the host.
+  std::vector<double> worker_free(cfg.workers, 0.0);
   double device_busy = 0;
   std::size_t next = 0;
   std::size_t batches = 0;
 
   while (next < stream.size()) {
-    // The batch opens when the device is free and the first request is in.
-    const double open = std::max(device_free, stream[next].arrival);
+    auto free_it = std::min_element(worker_free.begin(), worker_free.end());
+    // The batch opens when a worker is free and the first request is in.
+    const double open = std::max(*free_it, stream[next].arrival);
     const double deadline = open + cfg.batch_timeout_s;
     // Admit requests that arrive before the deadline, up to capacity.
     std::size_t end = next;
@@ -64,7 +91,7 @@ ServingReport SimulateServing(const ModelConfig& model,
       ++end;
     }
     // The batch launches when its last admitted request has arrived (never
-    // before the device is free).
+    // before the worker is free).
     const double launch = std::max(open, stream[end - 1].arrival);
 
     std::vector<std::size_t> lens;
@@ -78,7 +105,7 @@ ServingReport SimulateServing(const ModelConfig& model,
       latencies.push_back(done - stream[i].arrival);
     }
     device_busy += report.latency_s;
-    device_free = done;
+    *free_it = done;
     next = end;
     ++batches;
   }
@@ -95,10 +122,15 @@ ServingReport SimulateServing(const ModelConfig& model,
   rep.p50_latency_s = Percentile(latencies, 0.50);
   rep.p95_latency_s = Percentile(latencies, 0.95);
   rep.p99_latency_s = Percentile(latencies, 0.99);
-  const double span = device_free - stream.front().arrival;
+  const double last_done =
+      *std::max_element(worker_free.begin(), worker_free.end());
+  const double span = last_done - stream.front().arrival;
   rep.throughput_rps =
       span > 0 ? static_cast<double>(cfg.requests) / span : 0;
-  rep.device_busy_frac = span > 0 ? device_busy / span : 0;
+  // Utilization is averaged over all workers: busy device-seconds divided
+  // by the span times the worker count.
+  rep.device_busy_frac =
+      span > 0 ? device_busy / (span * static_cast<double>(cfg.workers)) : 0;
   return rep;
 }
 

@@ -21,8 +21,17 @@ struct ServingConfig {
   double batch_timeout_s = 0.02;  ///< flush a partial batch after this wait
   std::size_t requests = 512;     ///< simulated request count
   std::uint64_t seed = 1;         ///< arrivals + lengths
+  /// Concurrent backend workers (devices / BatchRunner slots): formed
+  /// batches dispatch to the earliest-free worker, mirroring the host-side
+  /// batched execution runtime.  1 reproduces the single-device model.
+  std::size_t workers = 1;
   AcceleratorConfig accel;        ///< backend device configuration
 };
+
+/// Throws std::invalid_argument with a field-specific message when a
+/// serving scenario is malformed (non-positive arrival rate, zero batch
+/// capacity, zero requests, zero workers, negative timeout).
+void ValidateServingConfig(const ServingConfig& cfg);
 
 /// Aggregate serving metrics.
 struct ServingReport {

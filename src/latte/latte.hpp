@@ -4,8 +4,8 @@
 // Umbrella header exposing the full public API: the sparse attention
 // operator (core), the transformer reference implementation (nn), the
 // scheduling algorithms (sched), the FPGA simulator (fpga), the baseline
-// platform models (platform), the workload generators (workload) and the
-// evaluation metrics (metrics).
+// platform models (platform), the batched execution runtime (runtime),
+// the workload generators (workload) and the evaluation metrics (metrics).
 //
 // See README.md for a quickstart and DESIGN.md for the architecture.
 
@@ -39,6 +39,9 @@
 #include "nn/ops.hpp"
 #include "nn/qlinear.hpp"
 #include "platform/platform.hpp"
+#include "runtime/batch_runner.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/workspace.hpp"
 #include "sched/op_graph.hpp"
 #include "sched/resource_plan.hpp"
 #include "sched/stage_allocation.hpp"

@@ -17,7 +17,8 @@ ModelInstance::ModelInstance(const ModelConfig& cfg, std::uint64_t seed)
 }
 
 MatrixF ModelInstance::Forward(const MatrixF& x, const InferenceConfig& inf,
-                               std::vector<LayerRunStats>* stats) const {
+                               std::vector<LayerRunStats>* stats,
+                               AttentionScratch* scratch) const {
   if (stats != nullptr) stats->clear();
 
   const bool sparse = inf.mode == InferenceMode::kSparseFloat ||
@@ -32,10 +33,12 @@ MatrixF ModelInstance::Forward(const MatrixF& x, const InferenceConfig& inf,
     if (sparse) {
       const SparseAttentionConfig sa = inf.sparse;
       auto* out = stats != nullptr ? &layer_stats : nullptr;
-      attn = [sa, out](const MatrixF& q, const MatrixF& k,
-                       const MatrixF& v) {
+      attn = [sa, out, scratch](const MatrixF& q, const MatrixF& k,
+                                const MatrixF& v) {
         SparseAttentionStats s;
-        MatrixF ctx = SparseAttention(q, k, v, sa, &s);
+        MatrixF ctx = scratch != nullptr
+                          ? SparseAttention(q, k, v, sa, &s, *scratch)
+                          : SparseAttention(q, k, v, sa, &s);
         if (out != nullptr) {
           out->exact_macs += s.exact_macs;
           out->lut_multiplies += s.lut_multiplies;
@@ -50,6 +53,21 @@ MatrixF ModelInstance::Forward(const MatrixF& x, const InferenceConfig& inf,
     if (stats != nullptr) stats->push_back(layer_stats);
   }
   return h;
+}
+
+std::vector<MatrixF> ModelInstance::ForwardBatch(
+    const std::vector<MatrixF>& xs, const InferenceConfig& inf,
+    BatchRunner& runner,
+    std::vector<std::vector<LayerRunStats>>* stats) const {
+  std::vector<MatrixF> out(xs.size());
+  if (stats != nullptr) {
+    stats->assign(xs.size(), {});
+  }
+  runner.Run(xs.size(), [&](std::size_t i, Workspace& ws) {
+    auto* seq_stats = stats != nullptr ? &(*stats)[i] : nullptr;
+    out[i] = Forward(xs[i], inf, seq_stats, &ws.attention());
+  });
+  return out;
 }
 
 ModelConfig ScaledDown(const ModelConfig& model, std::size_t factor) {

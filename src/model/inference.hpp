@@ -11,6 +11,7 @@
 #include "core/sparse_attention.hpp"
 #include "model/config.hpp"
 #include "nn/qlinear.hpp"
+#include "runtime/batch_runner.hpp"
 
 namespace latte {
 
@@ -45,8 +46,20 @@ class ModelInstance {
 
   /// Runs the full encoder stack on x (n x hidden).
   /// If `stats` is non-null it receives one entry per layer.
+  /// If `scratch` is non-null the sparse modes lease their per-row
+  /// temporaries from it (the batch runtime passes one per worker).
   MatrixF Forward(const MatrixF& x, const InferenceConfig& inf,
-                  std::vector<LayerRunStats>* stats = nullptr) const;
+                  std::vector<LayerRunStats>* stats = nullptr,
+                  AttentionScratch* scratch = nullptr) const;
+
+  /// Batched forward: runs every sequence of `xs` through the stack
+  /// concurrently on `runner`.  Sequences are independent, so outputs are
+  /// bit-identical to calling Forward() in a loop, at any worker count.
+  /// If `stats` is non-null it receives one per-layer vector per sequence.
+  std::vector<MatrixF> ForwardBatch(
+      const std::vector<MatrixF>& xs, const InferenceConfig& inf,
+      BatchRunner& runner,
+      std::vector<std::vector<LayerRunStats>>* stats = nullptr) const;
 
   const ModelConfig& config() const { return cfg_; }
   std::size_t layer_count() const { return layers_.size(); }

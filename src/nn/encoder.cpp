@@ -65,4 +65,20 @@ MatrixF EncoderForwardDense(const MatrixF& x, const EncoderWeights& w,
   return EncoderForward(x, w, cfg, DenseAttention);
 }
 
+std::vector<MatrixF> EncoderForwardBatch(const std::vector<MatrixF>& xs,
+                                         const EncoderWeights& w,
+                                         const EncoderConfig& cfg,
+                                         const WorkspaceAttentionFn& attn,
+                                         BatchRunner& runner) {
+  std::vector<MatrixF> out(xs.size());
+  runner.Run(xs.size(), [&](std::size_t i, Workspace& ws) {
+    const AttentionFn bound = [&attn, &ws](const MatrixF& q, const MatrixF& k,
+                                           const MatrixF& v) {
+      return attn(q, k, v, ws);
+    };
+    out[i] = EncoderForward(xs[i], w, cfg, bound);
+  });
+  return out;
+}
+
 }  // namespace latte

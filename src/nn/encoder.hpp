@@ -5,6 +5,7 @@
 
 #include "nn/attention.hpp"
 #include "nn/linear.hpp"
+#include "runtime/batch_runner.hpp"
 #include "tensor/rng.hpp"
 
 namespace latte {
@@ -44,5 +45,15 @@ MatrixF EncoderForward(const MatrixF& x, const EncoderWeights& w,
 /// Convenience: dense-reference encoder forward.
 MatrixF EncoderForwardDense(const MatrixF& x, const EncoderWeights& w,
                             const EncoderConfig& cfg);
+
+/// Batched encoder forward: runs every sequence of `xs` through the layer
+/// concurrently on `runner`, one Workspace per concurrency slot.  Each
+/// sequence executes exactly the code EncoderForward runs, so outputs are
+/// bit-identical to a sequential loop regardless of worker count.
+std::vector<MatrixF> EncoderForwardBatch(const std::vector<MatrixF>& xs,
+                                         const EncoderWeights& w,
+                                         const EncoderConfig& cfg,
+                                         const WorkspaceAttentionFn& attn,
+                                         BatchRunner& runner);
 
 }  // namespace latte

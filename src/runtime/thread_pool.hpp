@@ -1,0 +1,69 @@
+#pragma once
+// Fixed-size worker pool for the batched execution runtime.
+//
+// The SET-ISCA2023 runner fans independent scheduling jobs across raw
+// std::thread objects; LATTE serves a continuous stream of batches, so we
+// keep the workers alive in a pool instead of paying thread creation per
+// batch.  The pool is deliberately minimal: a locked task queue, a
+// condition variable pair (work available / all drained), and first-error
+// capture so a throwing task surfaces in the caller rather than in
+// std::terminate.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace latte {
+
+/// A fixed pool of worker threads draining a shared task queue.
+///
+/// Thread-compatible: Submit/Wait may be called from one owner thread;
+/// tasks run concurrently on the workers.  Exceptions thrown by tasks are
+/// captured (first one wins) and rethrown from Wait().
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins the workers.  Pending exceptions
+  /// are swallowed at destruction (call Wait() first to observe them).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (>= 1).
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task.  Tasks may not Submit to the same pool (no nested
+  /// parallelism; keeps the drain condition trivial).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle, then
+  /// rethrows the first exception any task raised since the last Wait().
+  void Wait();
+
+  /// Tasks executed since construction (for tests / utilization metrics).
+  std::size_t completed() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< signals: task available / stop
+  std::condition_variable drain_cv_;  ///< signals: queue empty + all idle
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;     ///< tasks currently executing
+  std::size_t completed_ = 0;  ///< tasks finished since construction
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace latte

@@ -1,0 +1,87 @@
+#pragma once
+// Per-worker scratch arena for the batched execution runtime.
+//
+// Every temporary the inference hot path needs -- gathered K/V candidate
+// blocks, fused-kernel score buffers, context rows, generic float scratch
+// -- lives here and is leased out by reference.  Buffers only ever grow
+// (capacity is sticky), so after the first few calls at steady-state
+// shapes the hot loop performs zero heap allocations.  One Workspace
+// belongs to exactly one worker at a time; the BatchRunner owns one per
+// concurrent slot, which is the whole thread-safety story (no sharing, no
+// locks).
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/sparse_attention.hpp"
+#include "tensor/matrix.hpp"
+
+namespace latte {
+
+/// Arena of reusable scratch buffers for one worker.
+class Workspace {
+ public:
+  Workspace() = default;
+
+  // Non-copyable (leased spans/references must stay unique), movable so a
+  // BatchRunner can hold them in a vector.
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  Workspace(Workspace&&) = default;
+  Workspace& operator=(Workspace&&) = default;
+
+  /// The sparse-attention scratch (gather buffers, scores, context row).
+  /// Call once per SparseAttention invocation; the returned reference is
+  /// valid until the next Reset().
+  AttentionScratch& attention() {
+    ++leases_;
+    return attention_;
+  }
+
+  /// Leases a float scratch matrix for `slot`, resized to rows x cols with
+  /// its allocation reused.  Slots are small dense integers (0, 1, 2...);
+  /// distinct concurrent temporaries must use distinct slots.  Leased
+  /// references stay valid until Reset(), even when later calls open new
+  /// slots (slots are individually heap-anchored).
+  MatrixF& Float(std::size_t slot, std::size_t rows, std::size_t cols) {
+    if (slot >= floats_.size()) floats_.resize(slot + 1);
+    if (!floats_[slot]) floats_[slot] = std::make_unique<MatrixF>();
+    ++leases_;
+    floats_[slot]->Resize(rows, cols);
+    return *floats_[slot];
+  }
+
+  /// Number of buffer leases served (tests assert reuse by checking this
+  /// grows while CapacityBytes() stays flat).
+  std::size_t leases() const { return leases_; }
+
+  /// Total bytes currently held across all scratch buffers (capacities,
+  /// not live sizes — buffers shrink logically but never release).  Flat
+  /// across repeated calls == the arena is reusing, not reallocating.
+  std::size_t CapacityBytes() const {
+    std::size_t bytes =
+        (attention_.ks.capacity() + attention_.vs.capacity() +
+         attention_.ctx.capacity() +
+         attention_.scores.exp_scores.capacity()) *
+        sizeof(float);
+    for (const auto& m : floats_) {
+      if (m) bytes += m->capacity() * sizeof(float);
+    }
+    return bytes;
+  }
+
+  /// Releases every buffer (capacity drops to zero).
+  void Reset() {
+    attention_ = AttentionScratch{};
+    floats_.clear();
+    leases_ = 0;
+  }
+
+ private:
+  AttentionScratch attention_;
+  std::vector<std::unique_ptr<MatrixF>> floats_;
+  std::size_t leases_ = 0;
+};
+
+}  // namespace latte

@@ -51,6 +51,9 @@ class Matrix {
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   std::size_t size() const { return data_.size(); }
+  /// Elements the underlying storage can hold without reallocating (grows
+  /// monotonically under Resize; the scratch-reuse accounting reads this).
+  std::size_t capacity() const { return data_.capacity(); }
   bool empty() const { return data_.empty(); }
 
   T& operator()(std::size_t r, std::size_t c) {
@@ -75,6 +78,17 @@ class Matrix {
 
   std::span<T> flat() { return std::span<T>(data_); }
   std::span<const T> flat() const { return std::span<const T>(data_); }
+
+  /// Reshapes to rows x cols, reusing the existing allocation whenever the
+  /// new extent fits the current capacity.  Element values in the reused
+  /// region are unspecified after the call (scratch-buffer semantics): the
+  /// caller is expected to overwrite every cell.  New cells appended beyond
+  /// the previous size are value-initialized by std::vector.
+  void Resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
 
   bool operator==(const Matrix& other) const = default;
 

@@ -68,4 +68,30 @@ Batch MakeBatch(std::vector<std::size_t> lengths, BatchPolicy policy,
   return b;
 }
 
+std::vector<std::vector<std::size_t>> ShardByTokens(
+    const std::vector<std::size_t>& lengths, std::size_t workers) {
+  if (workers == 0) {
+    throw std::invalid_argument("ShardByTokens: workers must be >= 1");
+  }
+  // Longest-processing-time-first: place each sequence, longest first,
+  // onto the shard with the fewest tokens so far (4/3-approximation to the
+  // optimal makespan).
+  std::vector<std::size_t> order(lengths.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (lengths[a] != lengths[b]) return lengths[a] > lengths[b];
+    return a < b;  // deterministic tie-break
+  });
+
+  std::vector<std::vector<std::size_t>> shards(workers);
+  std::vector<std::size_t> tokens(workers, 0);
+  for (std::size_t idx : order) {
+    const std::size_t w = static_cast<std::size_t>(
+        std::min_element(tokens.begin(), tokens.end()) - tokens.begin());
+    shards[w].push_back(idx);
+    tokens[w] += lengths[idx];
+  }
+  return shards;
+}
+
 }  // namespace latte

@@ -39,4 +39,14 @@ struct Batch {
 Batch MakeBatch(std::vector<std::size_t> lengths, BatchPolicy policy,
                 std::size_t micro_batch = 4, std::size_t pad_to = 0);
 
+/// Static work partition for the batched execution runtime: assigns the
+/// sequences (by index into `lengths`) to `workers` shards, balancing
+/// total tokens with longest-processing-time-first greedy placement.
+/// Every index appears in exactly one shard; trailing shards may be empty
+/// when there are fewer sequences than workers.  Attention cost grows
+/// superlinearly in length, so token balance is the right first-order
+/// proxy; the BatchRunner's dynamic cursor handles the remainder.
+std::vector<std::vector<std::size_t>> ShardByTokens(
+    const std::vector<std::size_t>& lengths, std::size_t workers);
+
 }  // namespace latte
