@@ -7,18 +7,25 @@
 //      of variable-length sequences?  (1 vs 2 vs 4 threads; on a 1-core
 //      host the scaling numbers measure scheduling overhead, not speedup)
 //
-// Plain chrono timing, deterministic inputs, prints a small table.
+// Plain chrono timing, deterministic inputs, prints a small table and
+// emits machine-readable JSON (BENCH_runtime.json, or argv[1]) for the CI
+// perf-smoke job.
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "json_writer.hpp"
 #include "latte/latte.hpp"
 
 namespace latte {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Optimization barrier: published results are never elided.
+volatile float g_sink = 0;
 
 double SecondsSince(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
@@ -61,7 +68,13 @@ MatrixF SparseStage2Workspace(const MatrixF& q, const MatrixF& k,
   return out;
 }
 
-void BenchWorkspaceVsPerRowAlloc() {
+struct WorkspaceBenchResult {
+  double alloc_ms = 0;
+  double workspace_ms = 0;
+  double speedup = 0;
+};
+
+WorkspaceBenchResult BenchWorkspaceVsPerRowAlloc() {
   Rng rng(42);
   AttentionWorkloadConfig wl;
   wl.head_dim = 64;
@@ -77,7 +90,7 @@ void BenchWorkspaceVsPerRowAlloc() {
   const int reps = 40;
   // Warm up both paths (page in, grow the scratch to steady state).
   AttentionScratch scratch;
-  volatile float sink = 0;
+  float sink = 0;
   sink += SparseStage2PerRowAlloc(p.q, p.k, p.v, sel, fk)(0, 0);
   sink += SparseStage2Workspace(p.q, p.k, p.v, sel, fk, scratch)(0, 0);
 
@@ -92,15 +105,24 @@ void BenchWorkspaceVsPerRowAlloc() {
     sink += SparseStage2Workspace(p.q, p.k, p.v, sel, fk, scratch)(0, 0);
   }
   const double ws_s = SecondsSince(t0) / reps;
+  g_sink = sink;
 
   std::printf("== sparse attention stage 2, n=%zu top_k=%zu d=%zu ==\n", n,
               sel_cfg.top_k, p.q.cols());
   std::printf("  per-row alloc : %8.3f ms/call\n", alloc_s * 1e3);
   std::printf("  workspace     : %8.3f ms/call\n", ws_s * 1e3);
   std::printf("  speedup       : %8.2fx\n\n", alloc_s / ws_s);
+  return {alloc_s * 1e3, ws_s * 1e3, alloc_s / ws_s};
 }
 
-void BenchBatchRunnerScaling() {
+struct ScalingPoint {
+  std::size_t threads = 0;
+  double ms_per_batch = 0;
+  double tokens_per_s = 0;
+  double speedup = 0;
+};
+
+std::vector<ScalingPoint> BenchBatchRunnerScaling() {
   const ModelConfig small = ScaledDown(BertBase(), 4);
   const ModelInstance model(small, 2022);
   InferenceConfig inf;
@@ -132,12 +154,12 @@ void BenchBatchRunnerScaling() {
   }
   std::printf("\n");
 
+  std::vector<ScalingPoint> points;
   double base_s = 0;
   for (std::size_t threads : {1u, 2u, 4u}) {
     BatchRunner runner(threads);
     // Warm-up grows each worker's workspace to steady state.
-    volatile float sink = model.ForwardBatch(xs, inf, runner)[0](0, 0);
-    (void)sink;
+    g_sink = model.ForwardBatch(xs, inf, runner)[0](0, 0);
     const int reps = 3;
     const auto t0 = Clock::now();
     for (int r = 0; r < reps; ++r) model.ForwardBatch(xs, inf, runner);
@@ -146,14 +168,44 @@ void BenchBatchRunnerScaling() {
     std::printf(
         "  threads=%zu : %8.3f ms/batch  %8.0f tokens/s  speedup %5.2fx\n",
         threads, per_batch * 1e3, tokens / per_batch, base_s / per_batch);
+    points.push_back({threads, per_batch * 1e3,
+                      static_cast<double>(tokens) / per_batch,
+                      base_s / per_batch});
   }
+  return points;
 }
 
 }  // namespace
 }  // namespace latte
 
-int main() {
-  latte::BenchWorkspaceVsPerRowAlloc();
-  latte::BenchBatchRunnerScaling();
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_runtime.json";
+  const auto workspace = latte::BenchWorkspaceVsPerRowAlloc();
+  const auto scaling = latte::BenchBatchRunnerScaling();
+
+  latte::bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("runtime");
+  json.Key("schema_version").Value(std::size_t{1});
+  json.Key("workspace");
+  json.BeginObject();
+  json.Key("alloc_ms").Value(workspace.alloc_ms);
+  json.Key("workspace_ms").Value(workspace.workspace_ms);
+  json.Key("speedup").Value(workspace.speedup);
+  json.EndObject();
+  json.Key("scaling");
+  json.BeginArray();
+  for (const auto& p : scaling) {
+    json.BeginObject();
+    json.Key("threads").Value(p.threads);
+    json.Key("ms_per_batch").Value(p.ms_per_batch);
+    json.Key("tokens_per_s").Value(p.tokens_per_s);
+    json.Key("speedup").Value(p.speedup);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  if (!json.WriteFile(out_path)) return 1;
+  std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

@@ -1,0 +1,128 @@
+#pragma once
+// Minimal streaming JSON writer for the machine-readable bench outputs
+// (BENCH_runtime.json, BENCH_serving.json) the CI perf-smoke job uploads
+// and schema-checks.  No dependency; emits valid JSON only (non-finite
+// numbers become null so jq never chokes on an overflowed measurement).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace latte::bench {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() {
+    Prefix();
+    out_ += '{';
+    pending_comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    pending_comma_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Prefix();
+    out_ += '[';
+    pending_comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    pending_comma_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+  JsonWriter& Key(std::string_view key) {
+    Prefix();
+    AppendString(key);
+    out_ += ':';
+    pending_comma_.back() = false;
+    return *this;
+  }
+  JsonWriter& Value(std::string_view v) {
+    Prefix();
+    AppendString(v);
+    return *this;
+  }
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(double v) {
+    Prefix();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.9g", v);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonWriter& Value(std::size_t v) {
+    Prefix();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& Value(bool v) {
+    Prefix();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// Writes the document to `path` followed by a newline; returns false
+  /// (and prints to stderr) when the file cannot be written.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "json: cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "%s\n", out_.c_str());
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  void Prefix() {
+    if (pending_comma_.empty()) return;
+    if (pending_comma_.back()) out_ += ',';
+    pending_comma_.back() = true;
+  }
+  void AppendString(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> pending_comma_;
+};
+
+}  // namespace latte::bench

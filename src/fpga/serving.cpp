@@ -1,23 +1,9 @@
 #include "fpga/serving.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
 #include <string>
 
 namespace latte {
-namespace {
-
-double Percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const double pos = p * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const auto hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
-}
-
-}  // namespace
 
 void ValidateServingConfig(const ServingConfig& cfg) {
   // Negated comparisons so NaN fails validation instead of slipping past.
@@ -46,92 +32,38 @@ void ValidateServingConfig(const ServingConfig& cfg) {
   }
 }
 
+BatchFormerConfig ServingBatchFormer(const ServingConfig& cfg) {
+  BatchFormerConfig former;
+  former.max_batch = cfg.max_batch;
+  former.timeout_s = cfg.batch_timeout_s;
+  return former;
+}
+
+PoissonTraceConfig ServingTrace(const ServingConfig& cfg) {
+  PoissonTraceConfig trace;
+  trace.arrival_rate_rps = cfg.arrival_rate_rps;
+  trace.requests = cfg.requests;
+  trace.seed = cfg.seed;
+  return trace;
+}
+
+BatchServiceModel AcceleratorServiceModel(const ModelConfig& model,
+                                          const AcceleratorConfig& accel) {
+  return [model, accel](const std::vector<std::size_t>& lengths) {
+    return RunAccelerator(model, lengths, accel).latency_s;
+  };
+}
+
 ServingReport SimulateServing(const ModelConfig& model,
                               const DatasetSpec& dataset,
                               const ServingConfig& cfg) {
   ValidateServingConfig(cfg);
-
-  // Generate the request stream: exponential inter-arrival gaps and
-  // dataset-shaped lengths.
-  Rng rng(cfg.seed);
-  LengthSampler sampler(dataset);
-  struct Request {
-    double arrival;
-    std::size_t length;
-  };
-  std::vector<Request> stream;
-  stream.reserve(cfg.requests);
-  double t = 0;
-  for (std::size_t i = 0; i < cfg.requests; ++i) {
-    double u = rng.NextUniform();
-    if (u < 1e-300) u = 1e-300;
-    t += -std::log(u) / cfg.arrival_rate_rps;  // exponential gap
-    stream.push_back({t, sampler.Sample(rng)});
-  }
-
-  std::vector<double> latencies;
-  latencies.reserve(cfg.requests);
-  // One entry per backend worker: the time it next becomes free.  The
-  // batch former always dispatches to the earliest-free worker, the same
-  // policy the BatchRunner's dynamic cursor implements on the host.
-  std::vector<double> worker_free(cfg.workers, 0.0);
-  double device_busy = 0;
-  std::size_t next = 0;
-  std::size_t batches = 0;
-
-  while (next < stream.size()) {
-    auto free_it = std::min_element(worker_free.begin(), worker_free.end());
-    // The batch opens when a worker is free and the first request is in.
-    const double open = std::max(*free_it, stream[next].arrival);
-    const double deadline = open + cfg.batch_timeout_s;
-    // Admit requests that arrive before the deadline, up to capacity.
-    std::size_t end = next;
-    while (end < stream.size() && end - next < cfg.max_batch &&
-           stream[end].arrival <= deadline) {
-      ++end;
-    }
-    // The batch launches when its last admitted request has arrived (never
-    // before the worker is free).
-    const double launch = std::max(open, stream[end - 1].arrival);
-
-    std::vector<std::size_t> lens;
-    lens.reserve(end - next);
-    for (std::size_t i = next; i < end; ++i) {
-      lens.push_back(stream[i].length);
-    }
-    const auto report = RunAccelerator(model, lens, cfg.accel);
-    const double done = launch + report.latency_s;
-    for (std::size_t i = next; i < end; ++i) {
-      latencies.push_back(done - stream[i].arrival);
-    }
-    device_busy += report.latency_s;
-    *free_it = done;
-    next = end;
-    ++batches;
-  }
-
-  ServingReport rep;
-  rep.requests = cfg.requests;
-  rep.batches = batches;
-  rep.mean_batch_size =
-      static_cast<double>(cfg.requests) / static_cast<double>(batches);
-  double sum = 0;
-  for (double l : latencies) sum += l;
-  rep.mean_latency_s = sum / static_cast<double>(latencies.size());
-  std::sort(latencies.begin(), latencies.end());
-  rep.p50_latency_s = Percentile(latencies, 0.50);
-  rep.p95_latency_s = Percentile(latencies, 0.95);
-  rep.p99_latency_s = Percentile(latencies, 0.99);
-  const double last_done =
-      *std::max_element(worker_free.begin(), worker_free.end());
-  const double span = last_done - stream.front().arrival;
-  rep.throughput_rps =
-      span > 0 ? static_cast<double>(cfg.requests) / span : 0;
-  // Utilization is averaged over all workers: busy device-seconds divided
-  // by the span times the worker count.
-  rep.device_busy_frac =
-      span > 0 ? device_busy / (span * static_cast<double>(cfg.workers)) : 0;
-  return rep;
+  const auto trace = GeneratePoissonTrace(ServingTrace(cfg), dataset);
+  const auto batches = FormBatches(trace, ServingBatchFormer(cfg));
+  const auto sched =
+      ScheduleFormedBatches(trace, batches, cfg.workers,
+                            AcceleratorServiceModel(model, cfg.accel));
+  return sched.report;
 }
 
 }  // namespace latte

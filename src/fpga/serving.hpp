@@ -1,6 +1,6 @@
 #pragma once
-// Online serving simulation: Poisson arrivals, a batch former, and the
-// accelerator model as the backend device.
+// Online serving simulation: Poisson arrivals, the shared length-aware
+// batch former, and the accelerator model as the backend device.
 //
 // The paper evaluates fixed batches (size 16); serving with a request
 // stream is the deployment scenario its introduction motivates (variable
@@ -8,8 +8,26 @@
 // length-aware design buys in *tail latency*: the padded-dense baseline
 // wastes device time on padding, queues grow, and p95/p99 explode earlier
 // as the arrival rate approaches saturation.
+//
+// Arrival generation (workload/arrivals), batch forming
+// (serve/batch_former), dispatch and report accounting (serve/dispatch)
+// are shared with the functional ServingEngine: replaying the same trace
+// through the engine with AcceleratorServiceModel reproduces this
+// simulation's report exactly, while also computing real tensors.
+//
+// Semantic change vs the pre-refactor simulator: batch forming is now
+// *trace-driven* (a batch's admission window opens at its first request's
+// arrival), where the old code opened the window only once a worker was
+// free (open = max(worker_free, arrival)).  Under backlog the old former
+// therefore grew batches toward max_batch while the new one keeps sealing
+// arrival-time windows, so absolute numbers in the saturation regime
+// shifted.  The trade is deliberate: trace-driven forming makes batches
+// identical at any worker count — the property that lets the functional
+// engine replay the simulator's exact batches — and the qualitative
+// story (the padded baseline saturates first) is unchanged.
 
 #include "fpga/accelerator.hpp"
+#include "serve/dispatch.hpp"
 #include "workload/dataset.hpp"
 
 namespace latte {
@@ -33,18 +51,18 @@ struct ServingConfig {
 /// capacity, zero requests, zero workers, negative timeout).
 void ValidateServingConfig(const ServingConfig& cfg);
 
-/// Aggregate serving metrics.
-struct ServingReport {
-  std::size_t requests = 0;
-  std::size_t batches = 0;
-  double mean_batch_size = 0;
-  double mean_latency_s = 0;   ///< arrival -> batch completion
-  double p50_latency_s = 0;
-  double p95_latency_s = 0;
-  double p99_latency_s = 0;
-  double throughput_rps = 0;   ///< completed requests / simulated span
-  double device_busy_frac = 0; ///< device utilization over the span
-};
+/// The batch former a serving scenario implies (capacity + timeout; no
+/// token budget, arrival-order dispatch).
+BatchFormerConfig ServingBatchFormer(const ServingConfig& cfg);
+
+/// The Poisson trace a serving scenario implies.
+PoissonTraceConfig ServingTrace(const ServingConfig& cfg);
+
+/// Prices one batch with the accelerator model: the performance twin's
+/// service model, usable by the functional ServingEngine for accounting
+/// that matches SimulateServing number for number.
+BatchServiceModel AcceleratorServiceModel(const ModelConfig& model,
+                                          const AcceleratorConfig& accel);
 
 /// Simulates a request stream against the accelerator model.
 /// Lengths are sampled from the dataset; the baseline accelerator mode

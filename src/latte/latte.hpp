@@ -5,7 +5,8 @@
 // operator (core), the transformer reference implementation (nn), the
 // scheduling algorithms (sched), the FPGA simulator (fpga), the baseline
 // platform models (platform), the batched execution runtime (runtime),
-// the workload generators (workload) and the evaluation metrics (metrics).
+// the streaming serving engine (serve), the workload generators
+// (workload) and the evaluation metrics (metrics).
 //
 // See README.md for a quickstart and DESIGN.md for the architecture.
 
@@ -45,12 +46,17 @@
 #include "sched/op_graph.hpp"
 #include "sched/resource_plan.hpp"
 #include "sched/stage_allocation.hpp"
+#include "serve/batch_former.hpp"
+#include "serve/dispatch.hpp"
+#include "serve/engine.hpp"
+#include "serve/report.hpp"
 #include "tensor/fixed_point.hpp"
 #include "tensor/lut_multiply.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/matrix.hpp"
 #include "tensor/quantize.hpp"
 #include "tensor/rng.hpp"
+#include "workload/arrivals.hpp"
 #include "workload/batch.hpp"
 #include "workload/dataset.hpp"
 #include "workload/synthetic.hpp"

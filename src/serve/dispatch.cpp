@@ -1,0 +1,63 @@
+#include "serve/dispatch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace latte {
+
+BatchServiceModel TokenLinearServiceModel(double seconds_per_token,
+                                          double batch_overhead_s) {
+  return [seconds_per_token,
+          batch_overhead_s](const std::vector<std::size_t>& lengths) {
+    std::size_t tokens = 0;
+    for (std::size_t len : lengths) tokens += len;
+    return batch_overhead_s +
+           seconds_per_token * static_cast<double>(tokens);
+  };
+}
+
+DispatchSchedule ScheduleFormedBatches(const std::vector<TimedRequest>& trace,
+                                       const std::vector<FormedBatch>& batches,
+                                       std::size_t workers,
+                                       const BatchServiceModel& service) {
+  if (workers == 0) {
+    throw std::invalid_argument(
+        "ScheduleFormedBatches: workers must be >= 1 (no backend to "
+        "dispatch to)");
+  }
+  DispatchSchedule sched;
+  sched.launch_s.reserve(batches.size());
+  sched.done_s.reserve(batches.size());
+  sched.service_s.reserve(batches.size());
+
+  std::vector<double> worker_free(workers, 0.0);
+  std::vector<double> latencies;
+  latencies.reserve(trace.size());
+  double busy = 0;
+  for (const FormedBatch& b : batches) {
+    auto free_it = std::min_element(worker_free.begin(), worker_free.end());
+    const double launch = std::max(*free_it, b.ready_s);
+    const double service_s = service(BatchLengths(trace, b));
+    const double done = launch + service_s;
+    for (std::size_t idx : b.indices) {
+      latencies.push_back(done - trace[idx].arrival_s);
+    }
+    busy += service_s;
+    *free_it = done;
+    sched.launch_s.push_back(launch);
+    sched.done_s.push_back(done);
+    sched.service_s.push_back(service_s);
+  }
+
+  double span = 0;
+  if (!batches.empty()) {
+    const double last_done =
+        *std::max_element(sched.done_s.begin(), sched.done_s.end());
+    span = last_done - trace.front().arrival_s;
+  }
+  sched.report =
+      BuildServingReport(latencies, batches.size(), busy, span, workers);
+  return sched;
+}
+
+}  // namespace latte

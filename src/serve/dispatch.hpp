@@ -1,0 +1,44 @@
+#pragma once
+// Virtual-time dispatch of formed batches onto concurrent backend workers.
+//
+// Both serving twins place batches the same way: each formed batch launches
+// on the earliest-free of `workers` backend slots, never before the batch
+// is sealed.  What differs is only the service model -- the performance
+// twin prices a batch with the accelerator simulator, the functional
+// engine with any deterministic cost model -- so the scheduling and report
+// accounting live here, once.
+
+#include <functional>
+
+#include "serve/batch_former.hpp"
+#include "serve/report.hpp"
+
+namespace latte {
+
+/// Service time (seconds) of one batch, given its member lengths in
+/// dispatch order.  Must be deterministic for replay determinism.
+using BatchServiceModel =
+    std::function<double(const std::vector<std::size_t>& lengths)>;
+
+/// Fixed per-batch overhead plus a per-token cost: the simplest useful
+/// deterministic service model (the overhead is what batching amortizes).
+BatchServiceModel TokenLinearServiceModel(double seconds_per_token,
+                                          double batch_overhead_s);
+
+/// Full virtual-time schedule of a formed-batch sequence.
+struct DispatchSchedule {
+  ServingReport report;
+  std::vector<double> launch_s;   ///< per batch: dispatch time
+  std::vector<double> done_s;     ///< per batch: completion time
+  std::vector<double> service_s;  ///< per batch: modeled service time
+};
+
+/// Schedules `batches` (in order) onto `workers` earliest-free slots and
+/// accounts per-request latency (arrival -> batch completion), throughput
+/// and busy fraction into a ServingReport.
+DispatchSchedule ScheduleFormedBatches(const std::vector<TimedRequest>& trace,
+                                       const std::vector<FormedBatch>& batches,
+                                       std::size_t workers,
+                                       const BatchServiceModel& service);
+
+}  // namespace latte

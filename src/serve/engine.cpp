@@ -1,0 +1,205 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "workload/synthetic.hpp"
+
+namespace latte {
+namespace {
+
+// Distinct, well-mixed seed per Push() ordinal so request embeddings are a
+// function of request identity alone (rejections and batch composition do
+// not disturb them).
+std::uint64_t EmbedSeed(std::uint64_t base, std::size_t ordinal) {
+  return base + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(ordinal) + 1);
+}
+
+}  // namespace
+
+void ValidateServingEngineConfig(const ServingEngineConfig& cfg) {
+  ValidateBatchFormerConfig(cfg.former);
+  if (cfg.workers == 0) {
+    throw std::invalid_argument(
+        "ServingEngineConfig: workers must be >= 1 (no backend slot to "
+        "account against)");
+  }
+}
+
+ServingEngine::ServingEngine(const ModelInstance& model,
+                             const ServingEngineConfig& cfg)
+    : model_(model), cfg_(cfg), runner_(cfg.threads) {
+  ValidateServingEngineConfig(cfg_);
+  if (!cfg_.service) {
+    // ~0.5 M tokens/s plus a fixed dispatch cost: a plausible host-side
+    // default; pass AcceleratorServiceModel to account like the simulator.
+    cfg_.service = TokenLinearServiceModel(2e-6, 2e-4);
+  }
+  worker_free_.assign(cfg_.workers, 0.0);
+}
+
+bool ServingEngine::Push(const TimedRequest& request) {
+  return PushImpl(request, MatrixF{});
+}
+
+bool ServingEngine::Push(const TimedRequest& request, MatrixF input) {
+  if (input.rows() != request.length ||
+      input.cols() != model_.config().encoder.hidden) {
+    throw std::invalid_argument(
+        "ServingEngine::Push: input must be length x hidden (" +
+        std::to_string(request.length) + " x " +
+        std::to_string(model_.config().encoder.hidden) + "), got " +
+        std::to_string(input.rows()) + " x " + std::to_string(input.cols()));
+  }
+  return PushImpl(request, std::move(input));
+}
+
+bool ServingEngine::PushImpl(const TimedRequest& request, MatrixF input) {
+  if (admission_.offered > 0 && request.arrival_s < last_arrival_) {
+    throw std::invalid_argument(
+        "ServingEngine::Push: arrivals must be non-decreasing (got " +
+        std::to_string(request.arrival_s) + " after " +
+        std::to_string(last_arrival_) + ")");
+  }
+  const std::size_t ordinal = admission_.offered++;
+  last_arrival_ = request.arrival_s;
+
+  AdvanceTo(request.arrival_s);
+
+  const std::size_t waiting = admitted_.size() - launched_;
+  if (cfg_.queue_capacity > 0 && waiting >= cfg_.queue_capacity) {
+    ++admission_.rejected;
+    return false;
+  }
+  ++admission_.accepted;
+  admission_.peak_queue = std::max(admission_.peak_queue, waiting + 1);
+
+  // Forming, mirroring FormBatches: a token-budget overflow seals the open
+  // batch at this arrival and the request starts the next batch; the first
+  // member of a batch is always admitted, however long.
+  if (open_active_ && cfg_.former.max_tokens > 0 &&
+      open_tokens_ + request.length > cfg_.former.max_tokens) {
+    SealOpen(BatchSeal::kTokenBudget, request.arrival_s);
+  }
+  if (!open_active_) {
+    open_active_ = true;
+    open_start_ = admitted_.size();
+    open_s_ = request.arrival_s;
+    open_tokens_ = 0;
+  }
+  admitted_.push_back(request);
+  inputs_.push_back(std::move(input));
+  offered_ids_.push_back(ordinal);
+  open_tokens_ += request.length;
+  if (admitted_.size() - open_start_ >= cfg_.former.max_batch) {
+    SealOpen(BatchSeal::kCapacity, request.arrival_s);
+  }
+  return true;
+}
+
+void ServingEngine::AdvanceTo(double now) {
+  if (open_active_ && now > open_s_ + cfg_.former.timeout_s) {
+    SealOpen(BatchSeal::kTimeout, open_s_ + cfg_.former.timeout_s);
+  }
+  while (next_launch_ < sealed_.size()) {
+    auto free_it = std::min_element(worker_free_.begin(), worker_free_.end());
+    const FormedBatch& b = sealed_[next_launch_];
+    const double launch = std::max(*free_it, b.ready_s);
+    if (launch > now) break;
+    *free_it = launch + cfg_.service(BatchLengths(admitted_, b));
+    launched_ += b.indices.size();
+    ++next_launch_;
+  }
+}
+
+void ServingEngine::SealOpen(BatchSeal seal, double ready_s) {
+  FormedBatch b;
+  b.open_s = open_s_;
+  b.ready_s = ready_s;
+  b.tokens = open_tokens_;
+  b.seal = seal;
+  b.indices.resize(admitted_.size() - open_start_);
+  for (std::size_t i = 0; i < b.indices.size(); ++i) {
+    b.indices[i] = open_start_ + i;
+  }
+  if (cfg_.former.sort_by_length) {
+    std::stable_sort(b.indices.begin(), b.indices.end(),
+                     [this](std::size_t a, std::size_t c) {
+                       return admitted_[a].length > admitted_[c].length;
+                     });
+  }
+  sealed_.push_back(std::move(b));
+  open_active_ = false;
+}
+
+ServingResult ServingEngine::Drain() {
+  if (open_active_) {
+    // End of stream: a streaming former cannot know no more requests are
+    // coming, so the trailing batch waits out its timer.
+    SealOpen(BatchSeal::kTimeout, open_s_ + cfg_.former.timeout_s);
+  }
+
+  ServingResult result;
+  result.schedule =
+      ScheduleFormedBatches(admitted_, sealed_, cfg_.workers, cfg_.service);
+  result.admission = admission_;
+
+  // Synthesize embeddings for requests pushed without one; identity is the
+  // Push() ordinal, so outputs do not depend on batching or rejections.
+  const std::size_t hidden = model_.config().encoder.hidden;
+  for (std::size_t i = 0; i < admitted_.size(); ++i) {
+    if (inputs_[i].empty()) {
+      Rng rng(EmbedSeed(cfg_.embed_seed, offered_ids_[i]));
+      inputs_[i] = MakeInputEmbedding(rng, admitted_[i].length, hidden);
+    }
+  }
+
+  // Execute every formed batch on the batched runtime.  Batches run in
+  // dispatch order; per-sequence math is bit-identical to a sequential
+  // Forward() loop at any thread count (the BatchRunner contract).
+  const auto wall0 = std::chrono::steady_clock::now();
+  result.outputs.resize(admitted_.size());
+  for (const FormedBatch& b : sealed_) {
+    std::vector<MatrixF> xs;
+    xs.reserve(b.indices.size());
+    for (std::size_t idx : b.indices) xs.push_back(std::move(inputs_[idx]));
+    auto ys = model_.ForwardBatch(xs, cfg_.inference, runner_);
+    for (std::size_t i = 0; i < b.indices.size(); ++i) {
+      result.outputs[b.indices[i]] = std::move(ys[i]);
+    }
+  }
+  result.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+
+  result.batches = std::move(sealed_);
+  result.offered_ids = std::move(offered_ids_);
+  ResetStream();
+  return result;
+}
+
+ServingResult ServingEngine::Replay(const std::vector<TimedRequest>& trace) {
+  for (const TimedRequest& r : trace) Push(r);
+  return Drain();
+}
+
+void ServingEngine::ResetStream() {
+  admitted_.clear();
+  inputs_.clear();
+  offered_ids_.clear();
+  sealed_.clear();
+  open_active_ = false;
+  open_start_ = 0;
+  open_s_ = 0;
+  open_tokens_ = 0;
+  worker_free_.assign(cfg_.workers, 0.0);
+  next_launch_ = 0;
+  launched_ = 0;
+  last_arrival_ = 0;
+  admission_ = AdmissionStats{};
+}
+
+}  // namespace latte

@@ -1,0 +1,122 @@
+#pragma once
+// ServingEngine: the functional, host-side serving front end.
+//
+// The engine closes the loop the ROADMAP asks for: timestamped requests
+// (a replayed Poisson trace or caller-pushed) flow through the shared
+// length-aware batch former, formed batches execute for real on the PR-1
+// batched runtime (ModelInstance::ForwardBatch over a BatchRunner), and
+// the same ServingReport the FPGA simulator produces is accounted in
+// virtual time from a deterministic service model.  That split -- real
+// tensors for outputs, virtual time for latency -- is what makes a run
+// reproducible: the same trace yields bit-identical outputs, batches and
+// reports at any BatchRunner thread count.
+//
+// Backpressure: with a bounded queue (`queue_capacity` > 0) a request is
+// rejected when the waiting room -- admitted requests whose batch has not
+// yet launched -- is full at its arrival.  Admission is decided in virtual
+// time with the same dispatch policy the report uses, so rejection counts
+// are deterministic too.
+
+#include "model/inference.hpp"
+#include "serve/dispatch.hpp"
+
+namespace latte {
+
+/// Serving engine knobs.
+struct ServingEngineConfig {
+  BatchFormerConfig former;     ///< continuous batch forming policy
+  std::size_t workers = 1;      ///< virtual backend slots (latency model)
+  std::size_t threads = 1;      ///< BatchRunner threads (0 = hardware)
+  std::size_t queue_capacity = 0;  ///< waiting-room bound; 0 = unbounded
+  InferenceConfig inference;    ///< functional datapath per sequence
+  std::uint64_t embed_seed = 1;    ///< synthesized request embeddings
+  /// Deterministic per-batch service time for the virtual-time report;
+  /// empty picks a token-linear default.  Use AcceleratorServiceModel
+  /// (fpga/serving.hpp) to account exactly like the performance twin.
+  BatchServiceModel service;
+};
+
+/// Throws std::invalid_argument naming the offending field.
+void ValidateServingEngineConfig(const ServingEngineConfig& cfg);
+
+/// Admission accounting under backpressure.
+struct AdmissionStats {
+  std::size_t offered = 0;     ///< Push() calls
+  std::size_t accepted = 0;    ///< admitted to the queue
+  std::size_t rejected = 0;    ///< bounced by the bounded queue
+  std::size_t peak_queue = 0;  ///< max waiting-room occupancy observed
+};
+
+/// Everything one serving run produces.
+struct ServingResult {
+  DispatchSchedule schedule;         ///< virtual-time report + batch times
+  AdmissionStats admission;
+  std::vector<FormedBatch> batches;  ///< indices into admitted order
+  std::vector<MatrixF> outputs;      ///< one per admitted request
+  std::vector<std::size_t> offered_ids;  ///< admitted -> Push() ordinal
+  double wall_s = 0;  ///< measured wall-clock of functional execution
+
+  const ServingReport& report() const { return schedule.report; }
+};
+
+/// Streaming serving engine over a materialized model.
+///
+/// The model must outlive the engine.  Usage: Push() requests in arrival
+/// order (or Replay() a whole trace), then Drain() to execute and collect
+/// the result; Drain() resets the engine for the next run.
+class ServingEngine {
+ public:
+  ServingEngine(const ModelInstance& model, const ServingEngineConfig& cfg);
+
+  /// Offers a request whose input embedding is synthesized from
+  /// (embed_seed, Push ordinal).  Returns false when the bounded queue
+  /// rejects it.  Arrivals must be non-decreasing in time.
+  bool Push(const TimedRequest& request);
+
+  /// Offers a request with a caller-provided embedding
+  /// (request.length x hidden).
+  bool Push(const TimedRequest& request, MatrixF input);
+
+  /// Seals the trailing batch, executes every formed batch on the batched
+  /// runtime and returns outputs plus the virtual-time report.  The
+  /// engine is empty afterwards and can serve the next stream.
+  ServingResult Drain();
+
+  /// Push() + Drain() over a whole trace.
+  ServingResult Replay(const std::vector<TimedRequest>& trace);
+
+  /// Admission counters for the stream currently being offered.
+  const AdmissionStats& admission() const { return admission_; }
+
+  /// Current waiting-room occupancy (admitted, batch not yet launched).
+  std::size_t queue_depth() const { return admitted_.size() - launched_; }
+
+ private:
+  bool PushImpl(const TimedRequest& request, MatrixF input);
+  /// Advances virtual time to `now`: seals a timed-out open batch and
+  /// launches sealed batches whose dispatch time has passed.
+  void AdvanceTo(double now);
+  void SealOpen(BatchSeal seal, double ready_s);
+  void ResetStream();
+
+  const ModelInstance& model_;
+  ServingEngineConfig cfg_;
+  BatchRunner runner_;
+
+  // Stream state (virtual time).
+  std::vector<TimedRequest> admitted_;
+  std::vector<MatrixF> inputs_;             ///< parallel to admitted_
+  std::vector<std::size_t> offered_ids_;    ///< parallel to admitted_
+  std::vector<FormedBatch> sealed_;         ///< incrementally formed
+  std::size_t open_start_ = 0;  ///< first admitted index of the open batch
+  bool open_active_ = false;
+  double open_s_ = 0;
+  std::size_t open_tokens_ = 0;
+  std::vector<double> worker_free_;
+  std::size_t next_launch_ = 0;  ///< first unlaunched sealed batch
+  std::size_t launched_ = 0;     ///< admitted requests already launched
+  double last_arrival_ = 0;
+  AdmissionStats admission_;
+};
+
+}  // namespace latte

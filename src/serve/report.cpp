@@ -1,0 +1,41 @@
+#include "serve/report.hpp"
+
+#include <algorithm>
+
+namespace latte {
+
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+ServingReport BuildServingReport(std::vector<double>& latencies,
+                                 std::size_t batches, double busy_s,
+                                 double span_s, std::size_t workers) {
+  ServingReport rep;
+  rep.requests = latencies.size();
+  rep.batches = batches;
+  if (batches > 0) {
+    rep.mean_batch_size =
+        static_cast<double>(rep.requests) / static_cast<double>(batches);
+  }
+  if (latencies.empty()) return rep;
+  double sum = 0;
+  for (double l : latencies) sum += l;
+  rep.mean_latency_s = sum / static_cast<double>(latencies.size());
+  std::sort(latencies.begin(), latencies.end());
+  rep.p50_latency_s = PercentileOfSorted(latencies, 0.50);
+  rep.p95_latency_s = PercentileOfSorted(latencies, 0.95);
+  rep.p99_latency_s = PercentileOfSorted(latencies, 0.99);
+  rep.throughput_rps =
+      span_s > 0 ? static_cast<double>(rep.requests) / span_s : 0;
+  rep.device_busy_frac =
+      span_s > 0 ? busy_s / (span_s * static_cast<double>(workers)) : 0;
+  return rep;
+}
+
+}  // namespace latte

@@ -1,0 +1,41 @@
+#pragma once
+// Serving metrics shared by the performance twin (fpga/serving) and the
+// functional serving engine (serve/engine).
+//
+// Both twins report the same structure from the same accounting code, so a
+// scenario replayed on the simulator and on the real runtime produces
+// directly comparable -- and, with the same service model, identical --
+// numbers.
+
+#include <cstddef>
+#include <vector>
+
+namespace latte {
+
+/// Aggregate serving metrics.
+struct ServingReport {
+  std::size_t requests = 0;
+  std::size_t batches = 0;
+  double mean_batch_size = 0;
+  double mean_latency_s = 0;    ///< arrival -> batch completion
+  double p50_latency_s = 0;
+  double p95_latency_s = 0;
+  double p99_latency_s = 0;
+  double throughput_rps = 0;    ///< completed requests / simulated span
+  double device_busy_frac = 0;  ///< worker utilization over the span
+};
+
+/// Linear-interpolated percentile of an ascending-sorted sample, p in
+/// [0, 1].  Returns 0 on an empty sample.
+double PercentileOfSorted(const std::vector<double>& sorted, double p);
+
+/// Builds a ServingReport from per-request latencies and span accounting.
+/// `latencies` is consumed (sorted in place); `busy_s` is the total busy
+/// worker-seconds, `span_s` the first-arrival -> last-completion span and
+/// `workers` the number of concurrent backend slots the busy fraction is
+/// averaged over.
+ServingReport BuildServingReport(std::vector<double>& latencies,
+                                 std::size_t batches, double busy_s,
+                                 double span_s, std::size_t workers);
+
+}  // namespace latte

@@ -1,0 +1,45 @@
+#include "workload/arrivals.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace latte {
+
+void ValidatePoissonTraceConfig(const PoissonTraceConfig& cfg) {
+  // Negated comparison so NaN fails validation instead of slipping past.
+  if (!(cfg.arrival_rate_rps > 0)) {
+    throw std::invalid_argument(
+        "PoissonTraceConfig: arrival_rate_rps must be > 0 (got " +
+        std::to_string(cfg.arrival_rate_rps) + ")");
+  }
+  if (cfg.requests == 0) {
+    throw std::invalid_argument(
+        "PoissonTraceConfig: requests must be >= 1 (nothing to generate)");
+  }
+}
+
+std::vector<TimedRequest> GeneratePoissonTrace(const PoissonTraceConfig& cfg,
+                                               const DatasetSpec& dataset) {
+  ValidatePoissonTraceConfig(cfg);
+  Rng rng(cfg.seed);
+  LengthSampler sampler(dataset);
+  std::vector<TimedRequest> trace;
+  trace.reserve(cfg.requests);
+  double t = 0;
+  for (std::size_t i = 0; i < cfg.requests; ++i) {
+    double u = rng.NextUniform();
+    if (u < 1e-300) u = 1e-300;
+    t += -std::log(u) / cfg.arrival_rate_rps;  // exponential gap
+    trace.push_back({t, sampler.Sample(rng)});
+  }
+  return trace;
+}
+
+std::size_t TraceTokens(const std::vector<TimedRequest>& trace) {
+  std::size_t tokens = 0;
+  for (const auto& r : trace) tokens += r.length;
+  return tokens;
+}
+
+}  // namespace latte

@@ -1,0 +1,46 @@
+#pragma once
+// Timestamped request streams: the arrival half of an online serving
+// scenario.
+//
+// The serving simulator (fpga/serving) and the functional serving engine
+// (serve/engine) consume the same traces, so a scenario can be replayed
+// against the performance twin and the real runtime and compared number
+// for number.  Arrivals are Poisson (exponential inter-arrival gaps) and
+// lengths follow the dataset's truncated log-normal fit, exactly as the
+// original simulator sampled them.
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/dataset.hpp"
+
+namespace latte {
+
+/// One request of a serving trace: when it arrives and how long it is.
+struct TimedRequest {
+  double arrival_s = 0;     ///< absolute arrival time (seconds)
+  std::size_t length = 0;   ///< sequence length (tokens)
+};
+
+/// Knobs of the Poisson trace generator.
+struct PoissonTraceConfig {
+  double arrival_rate_rps = 50;  ///< mean arrival rate (requests/s)
+  std::size_t requests = 512;    ///< trace size
+  std::uint64_t seed = 1;        ///< drives both gaps and lengths
+};
+
+/// Throws std::invalid_argument when the trace configuration is malformed
+/// (non-positive or NaN rate, zero requests).
+void ValidatePoissonTraceConfig(const PoissonTraceConfig& cfg);
+
+/// Generates a trace of `cfg.requests` timestamped requests: exponential
+/// inter-arrival gaps at `cfg.arrival_rate_rps` and dataset-shaped lengths.
+/// Deterministic in the seed; arrivals are strictly ordered in time.
+std::vector<TimedRequest> GeneratePoissonTrace(const PoissonTraceConfig& cfg,
+                                               const DatasetSpec& dataset);
+
+/// Sum of sequence lengths over a slice of the trace (token accounting for
+/// batch formers and admission budgets).
+std::size_t TraceTokens(const std::vector<TimedRequest>& trace);
+
+}  // namespace latte

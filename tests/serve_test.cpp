@@ -1,0 +1,425 @@
+// Tests for the streaming serving subsystem: Poisson traces, the shared
+// length-aware batch former (capacity / token-budget / timeout seals),
+// virtual-time dispatch, and the ServingEngine -- deterministic replay at
+// any thread count, bit-exact outputs vs sequential forward, backpressure
+// accounting, and field-for-field agreement with the FPGA serving
+// simulator on a shared trace.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "latte/latte.hpp"
+
+namespace latte {
+namespace {
+
+std::vector<TimedRequest> HandTrace(
+    std::initializer_list<std::pair<double, std::size_t>> rows) {
+  std::vector<TimedRequest> trace;
+  for (const auto& [t, len] : rows) trace.push_back({t, len});
+  return trace;
+}
+
+// ------------------------------------------------------- Poisson trace --
+
+TEST(PoissonTraceTest, DeterministicOrderedAndDatasetShaped) {
+  PoissonTraceConfig cfg;
+  cfg.arrival_rate_rps = 100;
+  cfg.requests = 200;
+  cfg.seed = 5;
+  const auto a = GeneratePoissonTrace(cfg, Mrpc());
+  const auto b = GeneratePoissonTrace(cfg, Mrpc());
+  ASSERT_EQ(a.size(), 200u);
+  const auto spec = Mrpc();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].length, b[i].length);
+    if (i > 0) {
+      EXPECT_GT(a[i].arrival_s, a[i - 1].arrival_s);
+    }
+    EXPECT_GE(static_cast<double>(a[i].length), spec.min_len);
+    EXPECT_LE(static_cast<double>(a[i].length), spec.max_len);
+  }
+  EXPECT_GT(TraceTokens(a), 0u);
+}
+
+TEST(PoissonTraceTest, ValidatesConfig) {
+  PoissonTraceConfig cfg;
+  cfg.arrival_rate_rps = 0;
+  EXPECT_THROW(GeneratePoissonTrace(cfg, Mrpc()), std::invalid_argument);
+  cfg.arrival_rate_rps = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(GeneratePoissonTrace(cfg, Mrpc()), std::invalid_argument);
+  cfg.arrival_rate_rps = 10;
+  cfg.requests = 0;
+  EXPECT_THROW(GeneratePoissonTrace(cfg, Mrpc()), std::invalid_argument);
+}
+
+// -------------------------------------------------------- Batch former --
+
+TEST(BatchFormerTest, CapacitySealsAtFillingArrival) {
+  const auto trace =
+      HandTrace({{0.000, 10}, {0.002, 20}, {0.004, 30}, {0.006, 40}});
+  BatchFormerConfig cfg;
+  cfg.max_batch = 2;
+  cfg.timeout_s = 0.05;
+  const auto batches = FormBatches(trace, cfg);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].indices, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(batches[0].seal, BatchSeal::kCapacity);
+  EXPECT_DOUBLE_EQ(batches[0].ready_s, 0.002);
+  EXPECT_EQ(batches[0].tokens, 30u);
+  EXPECT_EQ(batches[1].indices, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(batches[1].seal, BatchSeal::kCapacity);
+  EXPECT_DOUBLE_EQ(batches[1].ready_s, 0.006);
+}
+
+TEST(BatchFormerTest, TimeoutSealsAtDeadlineIncludingTrailingBatch) {
+  const auto trace = HandTrace({{0.000, 10}, {0.005, 20}, {0.100, 30}});
+  BatchFormerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.timeout_s = 0.02;
+  const auto batches = FormBatches(trace, cfg);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].indices, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(batches[0].seal, BatchSeal::kTimeout);
+  EXPECT_DOUBLE_EQ(batches[0].ready_s, 0.02);
+  // A streaming former cannot know the stream ended: the trailing batch
+  // waits out its timer too.
+  EXPECT_EQ(batches[1].indices, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(batches[1].seal, BatchSeal::kTimeout);
+  EXPECT_DOUBLE_EQ(batches[1].ready_s, 0.12);
+}
+
+TEST(BatchFormerTest, TokenBudgetSealsAndOversizeRequestStaysSingleton) {
+  const auto trace =
+      HandTrace({{0.000, 60}, {0.001, 60}, {0.002, 200}, {0.003, 30}});
+  BatchFormerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_tokens = 100;
+  cfg.timeout_s = 0.05;
+  const auto batches = FormBatches(trace, cfg);
+  ASSERT_EQ(batches.size(), 4u);
+  // 60 + 60 > 100: the second request seals the first batch at its own
+  // arrival and opens the next one.
+  EXPECT_EQ(batches[0].indices, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(batches[0].seal, BatchSeal::kTokenBudget);
+  EXPECT_DOUBLE_EQ(batches[0].ready_s, 0.001);
+  // The 200-token request exceeds the budget alone but is never blocked:
+  // it forms its own batch (sealed when the 30-token request overflows).
+  EXPECT_EQ(batches[1].indices, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(batches[2].indices, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(batches[2].seal, BatchSeal::kTokenBudget);
+  EXPECT_EQ(batches[2].tokens, 200u);
+  EXPECT_EQ(batches[3].indices, (std::vector<std::size_t>{3}));
+  EXPECT_EQ(batches[3].seal, BatchSeal::kTimeout);
+}
+
+TEST(BatchFormerTest, ZeroTimeoutOnlyBatchesSimultaneousArrivals) {
+  const auto trace = HandTrace({{0.000, 10}, {0.000, 20}, {0.010, 30}});
+  BatchFormerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.timeout_s = 0;
+  const auto batches = FormBatches(trace, cfg);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].indices, (std::vector<std::size_t>{0, 1}));
+  EXPECT_DOUBLE_EQ(batches[0].ready_s, 0.0);
+  EXPECT_EQ(batches[1].indices, (std::vector<std::size_t>{2}));
+}
+
+TEST(BatchFormerTest, SortByLengthReordersWithinBatchOnly) {
+  const auto trace =
+      HandTrace({{0.000, 10}, {0.001, 40}, {0.002, 20}, {0.050, 30}});
+  BatchFormerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.timeout_s = 0.02;
+  BatchFormerConfig sorted = cfg;
+  sorted.sort_by_length = true;
+  const auto plain = FormBatches(trace, cfg);
+  const auto desc = FormBatches(trace, sorted);
+  ASSERT_EQ(plain.size(), desc.size());
+  ASSERT_EQ(plain.size(), 2u);
+  EXPECT_EQ(plain[0].indices, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(desc[0].indices, (std::vector<std::size_t>{1, 2, 0}));
+  EXPECT_EQ(plain[0].tokens, desc[0].tokens);
+  EXPECT_EQ(desc[0].ready_s, plain[0].ready_s);
+  const auto lens = BatchLengths(trace, desc[0]);
+  EXPECT_EQ(lens, (std::vector<std::size_t>{40, 20, 10}));
+}
+
+TEST(BatchFormerTest, ValidatesConfig) {
+  BatchFormerConfig cfg;
+  cfg.max_batch = 0;
+  EXPECT_THROW(ValidateBatchFormerConfig(cfg), std::invalid_argument);
+  cfg.max_batch = 4;
+  cfg.timeout_s = -1;
+  EXPECT_THROW(ValidateBatchFormerConfig(cfg), std::invalid_argument);
+  cfg.timeout_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(ValidateBatchFormerConfig(cfg), std::invalid_argument);
+  cfg.timeout_s = 0.01;
+  EXPECT_NO_THROW(ValidateBatchFormerConfig(cfg));
+}
+
+// ------------------------------------------------------------ Dispatch --
+
+TEST(DispatchTest, SingleRequestLatencyIsTimeoutPlusService) {
+  const auto trace = HandTrace({{0.5, 25}});
+  BatchFormerConfig former;
+  former.max_batch = 4;
+  former.timeout_s = 0.05;
+  const auto batches = FormBatches(trace, former);
+  const auto service = TokenLinearServiceModel(1e-3, 0.01);  // 25ms + 10ms
+  const auto sched = ScheduleFormedBatches(trace, batches, 1, service);
+  ASSERT_EQ(sched.report.requests, 1u);
+  EXPECT_NEAR(sched.report.mean_latency_s, 0.05 + 0.025 + 0.01, 1e-12);
+  EXPECT_DOUBLE_EQ(sched.launch_s[0], 0.55);
+  EXPECT_NEAR(sched.done_s[0], 0.55 + 0.035, 1e-12);
+}
+
+TEST(DispatchTest, SecondWorkerAbsorbsConcurrentBatches) {
+  // Two batches sealed close together; one worker serializes them, two
+  // run them concurrently.
+  const auto trace = HandTrace({{0.00, 50}, {0.001, 50}, {0.02, 50}});
+  BatchFormerConfig former;
+  former.max_batch = 2;
+  former.timeout_s = 0.005;
+  const auto batches = FormBatches(trace, former);
+  ASSERT_EQ(batches.size(), 2u);
+  const auto service = TokenLinearServiceModel(0, 1.0);  // 1 s per batch
+  const auto one = ScheduleFormedBatches(trace, batches, 1, service);
+  const auto two = ScheduleFormedBatches(trace, batches, 2, service);
+  EXPECT_GT(one.done_s[1], two.done_s[1] + 0.9);
+  EXPECT_GT(one.report.p99_latency_s, two.report.p99_latency_s);
+  EXPECT_LE(two.report.device_busy_frac, 1.0 + 1e-9);
+  EXPECT_THROW(ScheduleFormedBatches(trace, batches, 0, service),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- ServingEngine --
+
+ModelInstance& SmallModel() {
+  static ModelInstance model(ScaledDown(BertBase(), 6), 2022);
+  return model;
+}
+
+ServingEngineConfig SmallEngineConfig() {
+  ServingEngineConfig cfg;
+  cfg.former.max_batch = 6;
+  cfg.former.timeout_s = 0.02;
+  cfg.workers = 2;
+  cfg.threads = 2;
+  cfg.inference.mode = InferenceMode::kSparseInt8;
+  cfg.inference.sparse.top_k = 16;
+  return cfg;
+}
+
+std::vector<TimedRequest> SmallTrace(std::size_t requests = 40) {
+  PoissonTraceConfig cfg;
+  cfg.arrival_rate_rps = 200;
+  cfg.requests = requests;
+  cfg.seed = 11;
+  return GeneratePoissonTrace(cfg, Mrpc());
+}
+
+TEST(ServingEngineTest, ReplayIsDeterministicAtAnyThreadCount) {
+  const auto trace = SmallTrace();
+  ServingResult reference;
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    auto cfg = SmallEngineConfig();
+    cfg.threads = threads;
+    ServingEngine engine(SmallModel(), cfg);
+    ServingResult res = engine.Replay(trace);
+    if (threads == 1) {
+      reference = std::move(res);
+      continue;
+    }
+    // Identical batches...
+    ASSERT_EQ(res.batches.size(), reference.batches.size());
+    for (std::size_t b = 0; b < res.batches.size(); ++b) {
+      EXPECT_EQ(res.batches[b].indices, reference.batches[b].indices);
+      EXPECT_EQ(res.batches[b].ready_s, reference.batches[b].ready_s);
+      EXPECT_EQ(res.batches[b].seal, reference.batches[b].seal);
+    }
+    // ...identical report (virtual time: exact equality, not tolerance)...
+    EXPECT_EQ(res.report().mean_latency_s, reference.report().mean_latency_s);
+    EXPECT_EQ(res.report().p50_latency_s, reference.report().p50_latency_s);
+    EXPECT_EQ(res.report().p99_latency_s, reference.report().p99_latency_s);
+    EXPECT_EQ(res.report().throughput_rps, reference.report().throughput_rps);
+    EXPECT_EQ(res.report().device_busy_frac,
+              reference.report().device_busy_frac);
+    // ...and bit-identical outputs.
+    ASSERT_EQ(res.outputs.size(), reference.outputs.size());
+    for (std::size_t i = 0; i < res.outputs.size(); ++i) {
+      EXPECT_EQ(res.outputs[i], reference.outputs[i]) << "request " << i;
+    }
+  }
+}
+
+TEST(ServingEngineTest, OutputsBitExactVsSequentialForward) {
+  const auto trace = SmallTrace(24);
+  auto cfg = SmallEngineConfig();
+  cfg.former.sort_by_length = true;  // exercise reordered dispatch
+  ServingEngine engine(SmallModel(), cfg);
+
+  // Push caller-provided embeddings so the sequential reference sees the
+  // exact same inputs.
+  Rng rng(33);
+  std::vector<MatrixF> inputs;
+  const std::size_t hidden = SmallModel().config().encoder.hidden;
+  for (const auto& r : trace) {
+    inputs.push_back(MakeInputEmbedding(rng, r.length, hidden));
+    ASSERT_TRUE(engine.Push(r, inputs.back()));
+  }
+  const ServingResult res = engine.Drain();
+
+  ASSERT_EQ(res.outputs.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(res.outputs[i], SmallModel().Forward(inputs[i], cfg.inference))
+        << "request " << i;
+  }
+}
+
+TEST(ServingEngineTest, EngineBatchesMatchSharedFormer) {
+  const auto trace = SmallTrace();
+  ServingEngine engine(SmallModel(), SmallEngineConfig());
+  const ServingResult res = engine.Replay(trace);
+  const auto expected = FormBatches(trace, SmallEngineConfig().former);
+  ASSERT_EQ(res.batches.size(), expected.size());
+  for (std::size_t b = 0; b < expected.size(); ++b) {
+    EXPECT_EQ(res.batches[b].indices, expected[b].indices);
+    EXPECT_EQ(res.batches[b].open_s, expected[b].open_s);
+    EXPECT_EQ(res.batches[b].ready_s, expected[b].ready_s);
+    EXPECT_EQ(res.batches[b].tokens, expected[b].tokens);
+    EXPECT_EQ(res.batches[b].seal, expected[b].seal);
+  }
+}
+
+TEST(ServingEngineTest, AgreesWithSimulatorOnSharedScenario) {
+  ServingConfig scenario;
+  scenario.arrival_rate_rps = 80;
+  scenario.max_batch = 8;
+  scenario.batch_timeout_s = 0.02;
+  scenario.requests = 48;
+  scenario.seed = 3;
+  scenario.workers = 2;
+
+  const ServingReport sim = SimulateServing(BertBase(), Mrpc(), scenario);
+
+  auto cfg = SmallEngineConfig();
+  cfg.former = ServingBatchFormer(scenario);
+  cfg.workers = scenario.workers;
+  cfg.service = AcceleratorServiceModel(BertBase(), scenario.accel);
+  ServingEngine engine(SmallModel(), cfg);
+  const auto trace = GeneratePoissonTrace(ServingTrace(scenario), Mrpc());
+  const ServingResult res = engine.Replay(trace);
+  const ServingReport& rep = res.report();
+
+  // Same trace, same former, same service model, same accounting: the
+  // functional engine reproduces the performance twin field for field.
+  EXPECT_EQ(rep.requests, sim.requests);
+  EXPECT_EQ(rep.batches, sim.batches);
+  EXPECT_EQ(rep.mean_batch_size, sim.mean_batch_size);
+  EXPECT_EQ(rep.mean_latency_s, sim.mean_latency_s);
+  EXPECT_EQ(rep.p50_latency_s, sim.p50_latency_s);
+  EXPECT_EQ(rep.p95_latency_s, sim.p95_latency_s);
+  EXPECT_EQ(rep.p99_latency_s, sim.p99_latency_s);
+  EXPECT_EQ(rep.throughput_rps, sim.throughput_rps);
+  EXPECT_EQ(rep.device_busy_frac, sim.device_busy_frac);
+  // And it actually computed something the simulator cannot: outputs.
+  EXPECT_EQ(res.outputs.size(), scenario.requests);
+}
+
+TEST(ServingEngineTest, BoundedQueueRejectsAndAccountsConsistently) {
+  auto cfg = SmallEngineConfig();
+  cfg.queue_capacity = 4;
+  // Glacial service: the queue cannot drain, so a burst must bounce.
+  cfg.service = TokenLinearServiceModel(0, 10.0);
+  ServingEngine engine(SmallModel(), cfg);
+
+  const auto trace = SmallTrace(32);
+  std::size_t bounced = 0;
+  for (const auto& r : trace) {
+    if (!engine.Push(r)) ++bounced;
+  }
+  EXPECT_GT(bounced, 0u);
+  const ServingResult res = engine.Drain();
+
+  EXPECT_EQ(res.admission.offered, trace.size());
+  EXPECT_EQ(res.admission.accepted + res.admission.rejected, trace.size());
+  EXPECT_EQ(res.admission.rejected, bounced);
+  EXPECT_EQ(res.report().requests, res.admission.accepted);
+  EXPECT_EQ(res.outputs.size(), res.admission.accepted);
+  EXPECT_LE(res.admission.peak_queue, cfg.queue_capacity);
+  EXPECT_GE(res.admission.peak_queue, 1u);
+
+  // The admitted sub-trace forms exactly the batches the engine executed.
+  std::vector<TimedRequest> admitted;
+  for (std::size_t id : res.offered_ids) admitted.push_back(trace[id]);
+  const auto expected = FormBatches(admitted, cfg.former);
+  ASSERT_EQ(res.batches.size(), expected.size());
+  for (std::size_t b = 0; b < expected.size(); ++b) {
+    EXPECT_EQ(res.batches[b].indices, expected[b].indices);
+  }
+}
+
+TEST(ServingEngineTest, UnboundedQueueAcceptsEverything) {
+  auto cfg = SmallEngineConfig();
+  cfg.service = TokenLinearServiceModel(0, 10.0);  // still glacial
+  ServingEngine engine(SmallModel(), cfg);
+  const auto trace = SmallTrace(16);
+  const ServingResult res = engine.Replay(trace);
+  EXPECT_EQ(res.admission.rejected, 0u);
+  EXPECT_EQ(res.admission.accepted, trace.size());
+  // The waiting room only holds unlaunched requests: early batches launch
+  // onto the free workers, so the peak sits below the trace size.
+  EXPECT_GE(res.admission.peak_queue, 1u);
+  EXPECT_LE(res.admission.peak_queue, trace.size());
+}
+
+TEST(ServingEngineTest, DrainResetsForTheNextStream) {
+  const auto trace = SmallTrace(12);
+  ServingEngine engine(SmallModel(), SmallEngineConfig());
+  const ServingResult first = engine.Replay(trace);
+  EXPECT_EQ(engine.queue_depth(), 0u);
+  EXPECT_EQ(engine.admission().offered, 0u);
+  const ServingResult second = engine.Replay(trace);
+  EXPECT_EQ(first.report().p99_latency_s, second.report().p99_latency_s);
+  ASSERT_EQ(first.outputs.size(), second.outputs.size());
+  for (std::size_t i = 0; i < first.outputs.size(); ++i) {
+    EXPECT_EQ(first.outputs[i], second.outputs[i]);
+  }
+}
+
+TEST(ServingEngineTest, ValidatesConfigAndPushArguments) {
+  EXPECT_THROW(
+      {
+        auto cfg = SmallEngineConfig();
+        cfg.workers = 0;
+        ServingEngine engine(SmallModel(), cfg);
+      },
+      std::invalid_argument);
+  EXPECT_THROW(
+      {
+        auto cfg = SmallEngineConfig();
+        cfg.former.max_batch = 0;
+        ServingEngine engine(SmallModel(), cfg);
+      },
+      std::invalid_argument);
+
+  ServingEngine engine(SmallModel(), SmallEngineConfig());
+  // Out-of-order arrivals are a caller bug, not a policy decision.
+  ASSERT_TRUE(engine.Push({1.0, 16}));
+  EXPECT_THROW(engine.Push({0.5, 16}), std::invalid_argument);
+  // Wrong embedding shape.
+  Rng rng(1);
+  const std::size_t hidden = SmallModel().config().encoder.hidden;
+  EXPECT_THROW(engine.Push({2.0, 16}, MakeInputEmbedding(rng, 8, hidden)),
+               std::invalid_argument);
+  (void)engine.Drain();
+}
+
+}  // namespace
+}  // namespace latte
