@@ -1,0 +1,185 @@
+// Kernel-level GFLOP/s benchmarks: the tiled/packed GEMM library versus
+// the seed's scalar triple loop, across the paper's encoder shapes
+// (BERT-base: hidden 768, FFN 3072, head_dim 64; MRPC/SQuAD sequence
+// lengths).  Single thread, deterministic inputs.  Emits machine-readable
+// JSON (BENCH_kernels.json, or argv[1]) for the CI perf-regression gate;
+// the dimensionless speedups are what the gate compares against
+// bench/baselines/, since absolute GFLOP/s move with the host.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "json_writer.hpp"
+#include "latte/latte.hpp"
+
+namespace latte {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+volatile float g_sink = 0;  // keeps results alive past the optimizer
+
+// The seed's scalar A*B^T loop (dot-product orientation, serial
+// accumulation), kept here as the baseline MatMulBT shed when it moved
+// onto the tiled kernel.
+MatrixF ScalarMatMulBT(const MatrixF& a, const MatrixF& b) {
+  MatrixF c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto ai = a.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      auto bj = b.row(j);
+      float acc = 0.f;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += ai[k] * bj[k];
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+struct ShapeResult {
+  std::string op;     // "matmul" or "matmul_bt"
+  std::string label;  // which encoder op this shape is
+  std::size_t m = 0, k = 0, n = 0;
+  double scalar_gflops = 0;
+  double tiled_gflops = 0;
+  double speedup = 0;
+};
+
+// Times `fn` (which must consume its result into g_sink) until at least
+// `min_s` seconds and 3 repetitions have elapsed; returns seconds/call.
+template <typename Fn>
+double TimePerCall(Fn&& fn, double min_s = 0.25) {
+  fn();  // warm-up: page in, grow scratch to steady state
+  int reps = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0;
+  do {
+    fn();
+    ++reps;
+    elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  } while (elapsed < min_s || reps < 3);
+  return elapsed / reps;
+}
+
+ShapeResult BenchGemm(const std::string& label, std::size_t m, std::size_t k,
+                      std::size_t n, Rng& rng) {
+  const auto a = rng.NormalMatrix(m, k, 0.0, 1.0);
+  const auto b = rng.NormalMatrix(k, n, 0.0, 1.0);
+  const double flop = 2.0 * m * k * n;
+
+  // Scalar baseline: the seed's i-k-j loop (MatMulSkipZeros is that exact
+  // loop; on dense random inputs the zero test never fires).
+  const double scalar_s =
+      TimePerCall([&] { g_sink = g_sink + MatMulSkipZeros(a, b)(0, 0); });
+
+  GemmScratch scratch;
+  MatrixF c;
+  const double tiled_s = TimePerCall([&] {
+    MatMulInto(a, b, c, scratch);
+    g_sink = g_sink + c(0, 0);
+  });
+
+  ShapeResult r;
+  r.op = "matmul";
+  r.label = label;
+  r.m = m;
+  r.k = k;
+  r.n = n;
+  r.scalar_gflops = flop / scalar_s * 1e-9;
+  r.tiled_gflops = flop / tiled_s * 1e-9;
+  r.speedup = scalar_s / tiled_s;
+  return r;
+}
+
+ShapeResult BenchGemmBT(const std::string& label, std::size_t m,
+                        std::size_t rows_b, std::size_t d, Rng& rng) {
+  const auto a = rng.NormalMatrix(m, d, 0.0, 1.0);
+  const auto b = rng.NormalMatrix(rows_b, d, 0.0, 1.0);
+  const double flop = 2.0 * m * d * rows_b;
+
+  const double scalar_s =
+      TimePerCall([&] { g_sink = g_sink + ScalarMatMulBT(a, b)(0, 0); });
+
+  GemmScratch scratch;
+  MatrixF c;
+  const double tiled_s = TimePerCall([&] {
+    MatMulBTInto(a, b, c, scratch);
+    g_sink = g_sink + c(0, 0);
+  });
+
+  ShapeResult r;
+  r.op = "matmul_bt";
+  r.label = label;
+  r.m = m;
+  r.k = d;
+  r.n = rows_b;
+  r.scalar_gflops = flop / scalar_s * 1e-9;
+  r.tiled_gflops = flop / tiled_s * 1e-9;
+  r.speedup = scalar_s / tiled_s;
+  return r;
+}
+
+}  // namespace
+}  // namespace latte
+
+int main(int argc, char** argv) {
+  using namespace latte;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+  Rng rng(2022);
+
+  // The encoder's GEMM population for BERT-base shapes: QKV/output
+  // projections at MRPC- and SQuAD-like sequence lengths, both FFN
+  // matmuls, and the per-head score matmul Q K^T.
+  std::vector<ShapeResult> results;
+  results.push_back(BenchGemm("qkv_proj_seq64", 64, 768, 768, rng));
+  results.push_back(BenchGemm("qkv_proj_seq128", 128, 768, 768, rng));
+  results.push_back(BenchGemm("ffn1_seq128", 128, 768, 3072, rng));
+  results.push_back(BenchGemm("ffn2_seq128", 128, 3072, 768, rng));
+  results.push_back(BenchGemmBT("scores_seq128_d64", 128, 128, 64, rng));
+  results.push_back(BenchGemmBT("scores_seq384_d64", 384, 384, 64, rng));
+
+  std::printf("== kernel GFLOP/s, arch=%s, single thread ==\n",
+              KernelArchName());
+  double min_speedup = 0, log_sum = 0;
+  for (const auto& r : results) {
+    std::printf("  %-18s %4zux%4zux%4zu  scalar %7.2f  tiled %7.2f  %5.2fx\n",
+                r.label.c_str(), r.m, r.k, r.n, r.scalar_gflops,
+                r.tiled_gflops, r.speedup);
+    min_speedup =
+        min_speedup == 0 ? r.speedup : std::min(min_speedup, r.speedup);
+    log_sum += std::log(r.speedup);
+  }
+  const double geomean = std::exp(log_sum / results.size());
+  std::printf("  min speedup %.2fx, geomean %.2fx\n", min_speedup, geomean);
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("kernels");
+  json.Key("schema_version").Value(std::size_t{1});
+  json.Key("arch").Value(KernelArchName());
+  json.Key("single_thread").Value(true);
+  json.Key("shapes");
+  json.BeginArray();
+  for (const auto& r : results) {
+    json.BeginObject();
+    json.Key("op").Value(r.op);
+    json.Key("label").Value(r.label);
+    json.Key("m").Value(r.m);
+    json.Key("k").Value(r.k);
+    json.Key("n").Value(r.n);
+    json.Key("scalar_gflops").Value(r.scalar_gflops);
+    json.Key("tiled_gflops").Value(r.tiled_gflops);
+    json.Key("speedup").Value(r.speedup);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("min_speedup").Value(min_speedup);
+  json.Key("geomean_speedup").Value(geomean);
+  json.EndObject();
+  if (!json.WriteFile(out_path)) return 1;
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_*.json trajectory.
+
+Compares the current bench outputs (BENCH_kernels.json, BENCH_runtime.json,
+BENCH_serving.json) against the recorded baselines in bench/baselines/ and
+fails (exit 1) with a delta table when a gated metric regresses beyond the
+tolerance (default +-25%).
+
+Gated by default are the metrics that are stable across host machines:
+
+- dimensionless ratios (kernel speedups over the scalar reference, the
+  workspace-reuse speedup), checked against ``baseline * (1 - tolerance)``
+  -- improvements never fail;
+- deterministic counts (serving requests/batches/accepted/rejected per
+  rate x policy cell), checked exactly: the batch former is trace-driven,
+  so any drift is a policy change, not noise.
+
+Absolute measurements (GFLOP/s, milliseconds, tokens/s) and thread-scaling
+factors vary with the host that recorded the baseline, so they are
+reported in the table but only enforced with --strict (useful when
+comparing runs from the same machine).
+
+The table is printed to stdout and, when $GITHUB_STEP_SUMMARY is set,
+appended there as Markdown so every CI run shows its perf trajectory.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+OK, FAIL, INFO = "ok", "FAIL", "info"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+
+
+class Gate:
+    def __init__(self, tolerance, strict):
+        self.tolerance = tolerance
+        self.strict = strict
+        self.rows = []  # (bench, metric, baseline, current, delta, mode, status)
+        self.failed = False
+
+    def _delta(self, base, cur):
+        if base == 0:
+            return 0.0 if cur == 0 else float("inf")
+        return (cur - base) / abs(base)
+
+    def check(self, bench, metric, base, cur, mode):
+        """mode: 'higher' | 'lower' | 'exact' | 'info-higher' | 'info-lower'"""
+        info = mode.startswith("info")
+        direction = mode.split("-")[-1]
+        if info and not self.strict:
+            status = INFO
+        elif mode == "exact":
+            status = OK if base == cur else FAIL
+        elif direction == "higher":
+            status = OK if cur >= base * (1 - self.tolerance) else FAIL
+        else:  # lower is better
+            status = OK if cur <= base * (1 + self.tolerance) else FAIL
+        if status == FAIL:
+            self.failed = True
+        self.rows.append(
+            (bench, metric, base, cur, self._delta(base, cur), mode, status)
+        )
+
+    def missing(self, bench, what):
+        self.rows.append((bench, what, None, None, None, "exact", FAIL))
+        self.failed = True
+
+    def render(self, out, markdown):
+        if markdown:
+            out.write("### Perf gate (tolerance ±%d%%)\n\n" % (self.tolerance * 100))
+            out.write("| bench | metric | baseline | current | delta | gate | status |\n")
+            out.write("|---|---|---:|---:|---:|---|---|\n")
+            fmt = "| {} | {} | {} | {} | {} | {} | {} |\n"
+        else:
+            out.write("perf gate (tolerance +-%d%%)\n" % (self.tolerance * 100))
+            fmt = "  {:<8} {:<34} {:>12} {:>12} {:>8} {:<12} {}\n"
+            out.write(fmt.format("bench", "metric", "baseline", "current",
+                                 "delta", "gate", "status"))
+
+        def num(v):
+            if v is None:
+                return "missing"
+            if isinstance(v, float):
+                return "%.4g" % v
+            return str(v)
+
+        for bench, metric, base, cur, delta, mode, status in self.rows:
+            d = "" if delta is None else "%+.1f%%" % (delta * 100)
+            out.write(fmt.format(bench, metric, num(base), num(cur), d, mode,
+                                 status))
+        out.write("\n")
+
+
+def compare_kernels(gate, base, cur):
+    gate.check("kernels", "min_speedup", base["min_speedup"],
+               cur["min_speedup"], "higher")
+    gate.check("kernels", "geomean_speedup", base["geomean_speedup"],
+               cur["geomean_speedup"], "higher")
+    cur_shapes = {s["label"]: s for s in cur["shapes"]}
+    for shape in base["shapes"]:
+        label = shape["label"]
+        got = cur_shapes.get(label)
+        if got is None:
+            gate.missing("kernels", "shape %s" % label)
+            continue
+        gate.check("kernels", "%s.speedup" % label, shape["speedup"],
+                   got["speedup"], "info-higher")
+        gate.check("kernels", "%s.tiled_gflops" % label,
+                   shape["tiled_gflops"], got["tiled_gflops"], "info-higher")
+
+
+def compare_runtime(gate, base, cur):
+    gate.check("runtime", "workspace.speedup", base["workspace"]["speedup"],
+               cur["workspace"]["speedup"], "higher")
+    gate.check("runtime", "workspace.workspace_ms",
+               base["workspace"]["workspace_ms"],
+               cur["workspace"]["workspace_ms"], "info-lower")
+    cur_scaling = {p["threads"]: p for p in cur["scaling"]}
+    for point in base["scaling"]:
+        threads = point["threads"]
+        got = cur_scaling.get(threads)
+        if got is None:
+            gate.missing("runtime", "scaling threads=%d" % threads)
+            continue
+        # Scaling factors depend on the recording host's core count (a
+        # 1-core baseline would make the gate vacuous on CI and a CI
+        # baseline would flake on smaller hosts), so report-only.
+        gate.check("runtime", "scaling[%d].speedup" % threads,
+                   point["speedup"], got["speedup"], "info-higher")
+        gate.check("runtime", "scaling[%d].tokens_per_s" % threads,
+                   point["tokens_per_s"], got["tokens_per_s"], "info-higher")
+
+
+def compare_serving(gate, base, cur):
+    def key(r):
+        return (r["arrival_rps"], r["policy"])
+
+    cur_results = {key(r): r for r in cur["results"]}
+    for res in base["results"]:
+        k = key(res)
+        name = "rps=%g/%s" % k
+        got = cur_results.get(k)
+        if got is None:
+            gate.missing("serving", name)
+            continue
+        for field in ("requests", "batches", "accepted", "rejected"):
+            gate.check("serving", "%s.%s" % (name, field), res[field],
+                       got[field], "exact")
+        gate.check("serving", "%s.p95_ms" % name, res["p95_ms"],
+                   got["p95_ms"], "info-lower")
+        gate.check("serving", "%s.throughput_rps" % name,
+                   res["throughput_rps"], got["throughput_rps"],
+                   "info-higher")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baselines", default="bench/baselines",
+                    help="directory with recorded BENCH_*.json baselines")
+    ap.add_argument("--current", default=".",
+                    help="directory with freshly produced BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative regression on gated ratios")
+    ap.add_argument("--strict", action="store_true",
+                    help="also gate machine-dependent absolute metrics "
+                         "(same-host comparisons only)")
+    args = ap.parse_args()
+
+    gate = Gate(args.tolerance, args.strict)
+    benches = (
+        ("BENCH_kernels.json", compare_kernels),
+        ("BENCH_runtime.json", compare_runtime),
+        ("BENCH_serving.json", compare_serving),
+    )
+    for name, compare in benches:
+        base = load(os.path.join(args.baselines, name))
+        cur = load(os.path.join(args.current, name))
+        if base is None:
+            print("error: missing baseline %s" % name, file=sys.stderr)
+            return 2
+        if cur is None:
+            print("error: missing current %s (did the bench run?)" % name,
+                  file=sys.stderr)
+            return 2
+        compare(gate, base, cur)
+
+    gate.render(sys.stdout, markdown=False)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            gate.render(f, markdown=True)
+
+    if gate.failed:
+        print("perf gate: REGRESSION beyond tolerance", file=sys.stderr)
+        return 1
+    print("perf gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

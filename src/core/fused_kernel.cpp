@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernels.hpp"
+
 namespace latte {
 
 FusedScoreResult FusedScoreKernel(std::span<const float> q_row,
@@ -35,32 +37,25 @@ void FusedScoreKernel(std::span<const float> q_row, const MatrixF& ks,
     // a freshly value-initialized result holds.  Explicit so a reused
     // scratch `out` cannot leak scores from a previous call.
     std::fill(out.exp_scores.begin(), out.exp_scores.end(), 0.f);
-  }
-
-  // Fig 4 loop nest: outer over reduction dim i, inner over candidates j,
-  // II=1 with UNROLL factor p on the inner loop.  The tail (scale, mask,
-  // exp) runs when i reaches the last reduction iteration.  Functionally we
-  // keep the per-candidate accumulator across the fused iterations.
-  for (std::size_t j = 0; j < ks.rows(); ++j) {
-    auto kj = ks.row(j);
-    float acc = 0.f;
-    for (std::size_t i = 0; i < d; ++i) {
-      acc += q_row[i] * kj[i];
-      if (i + 1 == d) {
-        // -- fused tail, same loop iteration --
-        acc *= cfg.scale;
-        if (!cfg.masked.empty() && cfg.masked[j]) {
-          // Masked candidates contribute exactly zero weight (the hardware
-          // gates the exp LUT output rather than feeding it -inf).
-          out.exp_scores[j] = 0.f;
-        } else {
-          // Saturating exponent: the hardware exp LUT clamps its input.
-          const float arg = std::clamp(acc, -80.f, 80.f);
-          const float e =
-              cfg.exp_lut != nullptr ? cfg.exp_lut->Eval(arg) : std::exp(arg);
-          out.exp_scores[j] = e;
-          out.sum += e;
-        }
+  } else {
+    // Fig 4 fuses the reduction with the scale/mask/exp tail in one II=1
+    // loop; functionally that is "dot product, then tail, per candidate".
+    // The software reduction runs through the kernel library's unrolled
+    // partial sums (same trip count as the hardware loop, reordered
+    // accumulation -- compare scores with relative tolerance).
+    for (std::size_t j = 0; j < ks.rows(); ++j) {
+      const float acc = DotProduct(q_row, ks.row(j)) * cfg.scale;
+      if (!cfg.masked.empty() && cfg.masked[j]) {
+        // Masked candidates contribute exactly zero weight (the hardware
+        // gates the exp LUT output rather than feeding it -inf).
+        out.exp_scores[j] = 0.f;
+      } else {
+        // Saturating exponent: the hardware exp LUT clamps its input.
+        const float arg = std::clamp(acc, -80.f, 80.f);
+        const float e =
+            cfg.exp_lut != nullptr ? cfg.exp_lut->Eval(arg) : std::exp(arg);
+        out.exp_scores[j] = e;
+        out.sum += e;
       }
     }
   }

@@ -1,5 +1,6 @@
 #include "core/sparse_attention.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -21,8 +22,7 @@ void GatherRowsInto(const MatrixF& src, std::span<const std::uint32_t> idx,
   out.Resize(idx.size(), src.cols());
   for (std::size_t r = 0; r < idx.size(); ++r) {
     auto s = src.row(idx[r]);
-    auto d = out.row(r);
-    for (std::size_t c = 0; c < s.size(); ++c) d[c] = s[c];
+    std::copy(s.begin(), s.end(), out.row(r).begin());
   }
 }
 

@@ -51,6 +51,7 @@
 #include "serve/engine.hpp"
 #include "serve/report.hpp"
 #include "tensor/fixed_point.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/lut_multiply.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/matrix.hpp"

@@ -18,7 +18,8 @@ ModelInstance::ModelInstance(const ModelConfig& cfg, std::uint64_t seed)
 
 MatrixF ModelInstance::Forward(const MatrixF& x, const InferenceConfig& inf,
                                std::vector<LayerRunStats>* stats,
-                               AttentionScratch* scratch) const {
+                               AttentionScratch* scratch,
+                               Workspace* workspace) const {
   if (stats != nullptr) stats->clear();
 
   const bool sparse = inf.mode == InferenceMode::kSparseFloat ||
@@ -45,11 +46,25 @@ MatrixF ModelInstance::Forward(const MatrixF& x, const InferenceConfig& inf,
         }
         return ctx;
       };
+    } else if (workspace != nullptr) {
+      // Lease the score matrix and pack buffer from the per-worker arena
+      // (bit-identical to DenseAttention, which runs the same code on a
+      // call-local Workspace).
+      attn = [workspace](const MatrixF& q, const MatrixF& k,
+                         const MatrixF& v) {
+        return DenseAttentionWorkspace(q, k, v, *workspace);
+      };
     } else {
       attn = DenseAttention;
     }
-    h = int8 ? QuantizedEncoderForward(h, qlayers_[l], cfg_.encoder, attn)
-             : EncoderForward(h, layers_[l], cfg_.encoder, attn);
+    if (int8) {
+      h = QuantizedEncoderForward(h, qlayers_[l], cfg_.encoder, attn);
+    } else if (workspace != nullptr) {
+      h = EncoderForwardWorkspace(h, layers_[l], cfg_.encoder, attn,
+                                  *workspace);
+    } else {
+      h = EncoderForward(h, layers_[l], cfg_.encoder, attn);
+    }
     if (stats != nullptr) stats->push_back(layer_stats);
   }
   return h;
@@ -65,7 +80,7 @@ std::vector<MatrixF> ModelInstance::ForwardBatch(
   }
   runner.Run(xs.size(), [&](std::size_t i, Workspace& ws) {
     auto* seq_stats = stats != nullptr ? &(*stats)[i] : nullptr;
-    out[i] = Forward(xs[i], inf, seq_stats, &ws.attention());
+    out[i] = Forward(xs[i], inf, seq_stats, &ws.attention(), &ws);
   });
   return out;
 }

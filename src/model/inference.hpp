@@ -48,9 +48,14 @@ class ModelInstance {
   /// If `stats` is non-null it receives one entry per layer.
   /// If `scratch` is non-null the sparse modes lease their per-row
   /// temporaries from it (the batch runtime passes one per worker).
+  /// If `workspace` is non-null the float encoder layers additionally
+  /// lease their GEMM intermediates and pack buffers from it; when it is
+  /// null each layer runs on a call-local arena.  Outputs are
+  /// bit-identical either way (same kernels, different buffers).
   MatrixF Forward(const MatrixF& x, const InferenceConfig& inf,
                   std::vector<LayerRunStats>* stats = nullptr,
-                  AttentionScratch* scratch = nullptr) const;
+                  AttentionScratch* scratch = nullptr,
+                  Workspace* workspace = nullptr) const;
 
   /// Batched forward: runs every sequence of `xs` through the stack
   /// concurrently on `runner`.  Sequences are independent, so outputs are

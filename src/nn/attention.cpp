@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "nn/ops.hpp"
+#include "runtime/workspace.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/matmul.hpp"
 
 namespace latte {
@@ -15,10 +17,23 @@ MatrixF DenseAttention(const MatrixF& q, const MatrixF& k, const MatrixF& v) {
 
 MatrixF DenseAttentionMasked(const MatrixF& q, const MatrixF& k,
                              const MatrixF& v, std::size_t valid_len) {
+  Workspace ws;
+  return DenseAttentionMaskedWorkspace(q, k, v, valid_len, ws);
+}
+
+MatrixF DenseAttentionWorkspace(const MatrixF& q, const MatrixF& k,
+                                const MatrixF& v, Workspace& ws) {
+  return DenseAttentionMaskedWorkspace(q, k, v, 0, ws);
+}
+
+MatrixF DenseAttentionMaskedWorkspace(const MatrixF& q, const MatrixF& k,
+                                      const MatrixF& v, std::size_t valid_len,
+                                      Workspace& ws) {
   if (q.cols() != k.cols() || k.rows() != v.rows()) {
     throw std::invalid_argument("DenseAttention: shape mismatch");
   }
-  MatrixF s = MatMulBT(q, k);
+  MatrixF& s = ws.Float(wslots::kAttentionScores, q.rows(), k.rows());
+  MatMulBTInto(q, k, s, ws.gemm());
   ScaleInPlace(s, 1.f / std::sqrt(static_cast<float>(q.cols())));
   if (valid_len > 0 && valid_len < k.rows()) {
     constexpr float kNegInf = -std::numeric_limits<float>::infinity();
@@ -28,7 +43,9 @@ MatrixF DenseAttentionMasked(const MatrixF& q, const MatrixF& k,
     }
   }
   SoftmaxRowsInPlace(s);
-  return MatMul(s, v);
+  MatrixF out;
+  MatMulInto(s, v, out, ws.gemm());
+  return out;
 }
 
 std::vector<MatrixF> SplitHeads(const MatrixF& x, std::size_t heads) {

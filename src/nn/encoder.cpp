@@ -27,13 +27,27 @@ EncoderWeights MakeEncoderWeights(Rng& rng, const EncoderConfig& cfg) {
 
 MatrixF EncoderForward(const MatrixF& x, const EncoderWeights& w,
                        const EncoderConfig& cfg, const AttentionFn& attn) {
+  Workspace ws;
+  return EncoderForwardWorkspace(x, w, cfg, attn, ws);
+}
+
+MatrixF EncoderForwardWorkspace(const MatrixF& x, const EncoderWeights& w,
+                                const EncoderConfig& cfg,
+                                const AttentionFn& attn, Workspace& ws) {
   if (x.cols() != cfg.hidden) {
     throw std::invalid_argument("EncoderForward: input width != hidden");
   }
-  // Stage 1: linear transformation (MatMul unit in Fig 2(a)).
-  const MatrixF q = w.wq.Forward(x);
-  const MatrixF k = w.wk.Forward(x);
-  const MatrixF v = w.wv.Forward(x);
+  GemmScratch& gs = ws.gemm();
+  const std::size_t n = x.rows();
+
+  // Stage 1: linear transformation (MatMul unit in Fig 2(a)), through the
+  // tiled kernels into per-worker scratch.
+  MatrixF& q = ws.Float(wslots::kEncoderQ, n, cfg.hidden);
+  MatrixF& k = ws.Float(wslots::kEncoderK, n, cfg.hidden);
+  MatrixF& v = ws.Float(wslots::kEncoderV, n, cfg.hidden);
+  w.wq.ForwardInto(x, gs, q);
+  w.wk.ForwardInto(x, gs, k);
+  w.wv.ForwardInto(x, gs, v);
 
   // Stage 2: per-head attention computation.
   const auto qh = SplitHeads(q, cfg.heads);
@@ -44,18 +58,22 @@ MatrixF EncoderForward(const MatrixF& x, const EncoderWeights& w,
   for (std::size_t h = 0; h < cfg.heads; ++h) {
     ctx.push_back(attn(qh[h], kh[h], vh[h]));
   }
-  MatrixF a = w.wo.Forward(ConcatHeads(ctx));
+  MatrixF& a = ws.Float(wslots::kEncoderAttn, n, cfg.hidden);
+  w.wo.ForwardInto(ConcatHeads(ctx), gs, a);
 
   // Residual + LayerNorm.
-  MatrixF x1 = Add(x, a);
+  MatrixF& x1 = ws.Float(wslots::kEncoderX1, n, cfg.hidden);
+  AddInto(x, a, x1);
   LayerNormInPlace(x1, w.ln1_gamma, w.ln1_beta);
 
   // Stage 3: feedforward.
-  MatrixF f = w.ffn1.Forward(x1);
+  MatrixF& f = ws.Float(wslots::kEncoderFfn, n, cfg.ffn());
+  w.ffn1.ForwardInto(x1, gs, f);
   GeluInPlace(f);
-  f = w.ffn2.Forward(f);
+  MatrixF& f2 = ws.Float(wslots::kEncoderFfn2, n, cfg.hidden);
+  w.ffn2.ForwardInto(f, gs, f2);
 
-  MatrixF out = Add(x1, f);
+  MatrixF out = Add(x1, f2);
   LayerNormInPlace(out, w.ln2_gamma, w.ln2_beta);
   return out;
 }
@@ -76,9 +94,14 @@ std::vector<MatrixF> EncoderForwardBatch(const std::vector<MatrixF>& xs,
                                            const MatrixF& v) {
       return attn(q, k, v, ws);
     };
-    out[i] = EncoderForward(xs[i], w, cfg, bound);
+    out[i] = EncoderForwardWorkspace(xs[i], w, cfg, bound, ws);
   });
   return out;
+}
+
+WorkspaceAttentionFn MakeWorkspaceDenseAttentionFn() {
+  return [](const MatrixF& q, const MatrixF& k, const MatrixF& v,
+            Workspace& ws) { return DenseAttentionWorkspace(q, k, v, ws); };
 }
 
 }  // namespace latte

@@ -38,9 +38,20 @@ EncoderWeights MakeEncoderWeights(Rng& rng, const EncoderConfig& cfg);
 ///   X1  = LayerNorm(X + A)
 ///   F   = GELU(X1 W1) W2
 ///   out = LayerNorm(X1 + F)
-/// `attn` runs per head; x is (n x hidden).
+/// `attn` runs per head; x is (n x hidden).  Thin shim: runs
+/// EncoderForwardWorkspace on a call-local Workspace, so outputs are
+/// bit-identical to the batched path.
 MatrixF EncoderForward(const MatrixF& x, const EncoderWeights& w,
                        const EncoderConfig& cfg, const AttentionFn& attn);
+
+/// Workspace variant: every projection/FFN GEMM runs through the tiled
+/// kernel library with intermediates leased from `ws` (Float slots
+/// wslots::kEncoder*, pack buffer ws.gemm()), so one encoder layer at
+/// steady-state shapes allocates only per-head splits and the returned
+/// matrix.  `attn` may lease ws slots >= wslots::kAttentionScores.
+MatrixF EncoderForwardWorkspace(const MatrixF& x, const EncoderWeights& w,
+                                const EncoderConfig& cfg,
+                                const AttentionFn& attn, Workspace& ws);
 
 /// Convenience: dense-reference encoder forward.
 MatrixF EncoderForwardDense(const MatrixF& x, const EncoderWeights& w,
@@ -55,5 +66,10 @@ std::vector<MatrixF> EncoderForwardBatch(const std::vector<MatrixF>& xs,
                                          const EncoderConfig& cfg,
                                          const WorkspaceAttentionFn& attn,
                                          BatchRunner& runner);
+
+/// Dense attention leasing its score matrix and GEMM pack buffer from the
+/// workspace.  Bit-identical to AdaptAttentionFn(DenseAttention) without
+/// its per-call allocations.
+WorkspaceAttentionFn MakeWorkspaceDenseAttentionFn();
 
 }  // namespace latte

@@ -7,9 +7,16 @@
 namespace latte {
 
 MatrixF Linear::Forward(const MatrixF& x) const {
-  MatrixF y = MatMul(x, weight);
+  MatrixF y;
+  MatMulInto(x, weight, y);
   if (!bias.empty()) AddBiasInPlace(y, bias);
   return y;
+}
+
+void Linear::ForwardInto(const MatrixF& x, GemmScratch& scratch,
+                         MatrixF& out) const {
+  MatMulInto(x, weight, out, scratch);
+  if (!bias.empty()) AddBiasInPlace(out, bias);
 }
 
 Linear MakeLinear(Rng& rng, std::size_t in, std::size_t out, bool with_bias) {

@@ -1,6 +1,7 @@
 #pragma once
 // Bias-ful linear transformation y = x W + b.
 
+#include "tensor/kernels.hpp"
 #include "tensor/matrix.hpp"
 #include "tensor/rng.hpp"
 
@@ -12,8 +13,15 @@ struct Linear {
   MatrixF weight;           ///< (in_features x out_features)
   std::vector<float> bias;  ///< length out_features, or empty
 
-  /// y = x * weight (+ bias).  x is (n x in_features).
+  /// y = x * weight (+ bias).  x is (n x in_features).  Thin allocating
+  /// shim over ForwardInto (identical bits).
   MatrixF Forward(const MatrixF& x) const;
+
+  /// Workspace variant: writes y into `out` (resized, fully overwritten)
+  /// through the tiled GEMM, packing into `scratch`.  The batched runtime
+  /// calls this with per-slot scratch so the hot path allocates nothing at
+  /// steady-state shapes.  `out` must not alias `x` or `weight`.
+  void ForwardInto(const MatrixF& x, GemmScratch& scratch, MatrixF& out) const;
 
   std::size_t in_features() const { return weight.rows(); }
   std::size_t out_features() const { return weight.cols(); }

@@ -4,6 +4,7 @@
 
 #include "nn/attention.hpp"
 #include "nn/ops.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/matmul.hpp"
 
 namespace latte {
@@ -22,24 +23,18 @@ MatrixF QuantizedLinear::Forward(const MatrixF& x) const {
   const QuantizedMatrix xq = Quantize(x, 8);
   const float out_scale = xq.scale * weight.scale;
 
+  // Row-blocked int8 GEMM with exact int32 accumulation -- the same
+  // arithmetic one DSP slice performs per MAC, bit-exact against the
+  // seed's i-k-j loop because integer addition is associative.
+  MatrixI32 acc;
+  Int8GemmInto(xq.codes, weight.codes, acc);
+
   MatrixF y(x.rows(), out_features());
-  // i-k-j over int8 codes with exact int32 accumulation -- the same
-  // arithmetic one DSP slice performs per MAC.
-  std::vector<std::int32_t> acc(out_features());
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    std::fill(acc.begin(), acc.end(), 0);
-    auto xi = xq.codes.row(i);
-    for (std::size_t k = 0; k < in_features(); ++k) {
-      const std::int32_t xik = xi[k];
-      if (xik == 0) continue;
-      auto wk = weight.codes.row(k);
-      for (std::size_t j = 0; j < wk.size(); ++j) {
-        acc[j] += xik * static_cast<std::int32_t>(wk[j]);
-      }
-    }
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    auto ai = acc.row(i);
     auto yi = y.row(i);
     for (std::size_t j = 0; j < yi.size(); ++j) {
-      yi[j] = static_cast<float>(acc[j]) * out_scale;
+      yi[j] = static_cast<float>(ai[j]) * out_scale;
     }
   }
   if (!bias.empty()) AddBiasInPlace(y, bias);

@@ -15,9 +15,26 @@
 #include <vector>
 
 #include "core/sparse_attention.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/matrix.hpp"
 
 namespace latte {
+
+/// Reserved Workspace::Float slot assignments for the library hot paths.
+/// Callers layering their own temporaries on a Workspace should lease
+/// slots >= kFirstFree so they never collide with the encoder or the
+/// dense-attention scores while those are live.
+namespace wslots {
+inline constexpr std::size_t kEncoderQ = 0;
+inline constexpr std::size_t kEncoderK = 1;
+inline constexpr std::size_t kEncoderV = 2;
+inline constexpr std::size_t kEncoderAttn = 3;
+inline constexpr std::size_t kEncoderX1 = 4;
+inline constexpr std::size_t kEncoderFfn = 5;
+inline constexpr std::size_t kEncoderFfn2 = 6;
+inline constexpr std::size_t kAttentionScores = 8;
+inline constexpr std::size_t kFirstFree = 16;
+}  // namespace wslots
 
 /// Arena of reusable scratch buffers for one worker.
 class Workspace {
@@ -37,6 +54,14 @@ class Workspace {
   AttentionScratch& attention() {
     ++leases_;
     return attention_;
+  }
+
+  /// The tiled-GEMM packing scratch (tensor/kernels.hpp).  Shared by every
+  /// GEMM this worker runs; the pack buffer grows to the largest panel set
+  /// and then stops allocating.
+  GemmScratch& gemm() {
+    ++leases_;
+    return gemm_;
   }
 
   /// Leases a float scratch matrix for `slot`, resized to rows x cols with
@@ -65,6 +90,7 @@ class Workspace {
          attention_.ctx.capacity() +
          attention_.scores.exp_scores.capacity()) *
         sizeof(float);
+    bytes += gemm_.CapacityBytes();
     for (const auto& m : floats_) {
       if (m) bytes += m->capacity() * sizeof(float);
     }
@@ -74,12 +100,14 @@ class Workspace {
   /// Releases every buffer (capacity drops to zero).
   void Reset() {
     attention_ = AttentionScratch{};
+    gemm_ = GemmScratch{};
     floats_.clear();
     leases_ = 0;
   }
 
  private:
   AttentionScratch attention_;
+  GemmScratch gemm_;
   std::vector<std::unique_ptr<MatrixF>> floats_;
   std::size_t leases_ = 0;
 };

@@ -1,0 +1,346 @@
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace latte {
+namespace {
+
+// Register-tile geometry.  With AVX2+FMA the micro-kernel holds an MR x NR
+// tile as MR x 2 ymm accumulators (12 of the 16 ymm registers), leaving
+// room for the two B loads and the A broadcast.  The portable kernel keeps
+// a 4 x 8 tile in eight named 128-bit vectors (GNU vector extensions, so
+// they are register-allocated on any ISA gcc/clang target); other
+// compilers fall back to a plain scalar tile.
+#if defined(__AVX2__) && defined(__FMA__)
+constexpr std::size_t kMr = 6;
+constexpr std::size_t kNr = 16;
+#else
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+#endif
+
+// K-tile: one packed B panel is kKc x kNr floats (16 KiB at kNr = 16),
+// L1-resident across the whole row sweep of an M-block.  M-block: the A
+// rows touched per panel sweep (kMc x kKc floats = 128 KiB), L2-resident.
+constexpr std::size_t kKc = 256;
+constexpr std::size_t kMc = 128;
+
+// Packs the (kc x m) slice of B starting at row `pc` into kNr-wide column
+// panels: panel jp holds columns [jp*kNr, jp*kNr + kNr), stored p-major so
+// the micro-kernel streams it contiguously.  The last panel is zero-padded
+// to kNr columns; padded lanes contribute exact zeros to the accumulators,
+// so the micro-kernel never branches on a column tail.
+void PackB(const MatrixF& b, std::size_t pc, std::size_t kc, float* dst) {
+  const std::size_t m = b.cols();
+  const std::size_t panels = (m + kNr - 1) / kNr;
+  for (std::size_t jp = 0; jp < panels; ++jp) {
+    const std::size_t j0 = jp * kNr;
+    const std::size_t nr = std::min(kNr, m - j0);
+    float* out = dst + jp * kc * kNr;
+    for (std::size_t p = 0; p < kc; ++p) {
+      const float* src = b.row(pc + p).data() + j0;
+      float* o = out + p * kNr;
+      for (std::size_t j = 0; j < nr; ++j) o[j] = src[j];
+      for (std::size_t j = nr; j < kNr; ++j) o[j] = 0.f;
+    }
+  }
+}
+
+// Transpose-pack for the A * B^T orientation: output column j of the
+// product is row j of B, so panel jp gathers rows [jp*kNr, jp*kNr + kNr)
+// of B at reduction offset pc.  Same layout and padding as PackB, which is
+// what lets both GEMM orientations share one micro-kernel.
+void PackBT(const MatrixF& b, std::size_t pc, std::size_t kc, float* dst) {
+  const std::size_t m = b.rows();
+  const std::size_t panels = (m + kNr - 1) / kNr;
+  for (std::size_t jp = 0; jp < panels; ++jp) {
+    const std::size_t j0 = jp * kNr;
+    const std::size_t nr = std::min(kNr, m - j0);
+    float* out = dst + jp * kc * kNr;
+    for (std::size_t j = 0; j < nr; ++j) {
+      const float* src = b.row(j0 + j).data() + pc;
+      for (std::size_t p = 0; p < kc; ++p) out[p * kNr + j] = src[p];
+    }
+    for (std::size_t j = nr; j < kNr; ++j) {
+      for (std::size_t p = 0; p < kc; ++p) out[p * kNr + j] = 0.f;
+    }
+  }
+}
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+// Full MR x NR micro-kernel, AVX2+FMA: 12 ymm accumulators, two B loads
+// and one A broadcast per reduction step.
+void MicroKernelFull(std::size_t kc, const float* a, std::size_t lda,
+                     const float* bp, float* c, std::size_t ldc,
+                     std::size_t nr) {
+  __m256 acc[kMr][2];
+  for (std::size_t i = 0; i < kMr; ++i) {
+    acc[i][0] = _mm256_setzero_ps();
+    acc[i][1] = _mm256_setzero_ps();
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kNr);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * kNr + 8);
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const __m256 ai = _mm256_broadcast_ss(a + i * lda + p);
+      acc[i][0] = _mm256_fmadd_ps(ai, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(ai, b1, acc[i][1]);
+    }
+  }
+  if (nr == kNr) {
+    for (std::size_t i = 0; i < kMr; ++i) {
+      float* ci = c + i * ldc;
+      _mm256_storeu_ps(ci, _mm256_add_ps(_mm256_loadu_ps(ci), acc[i][0]));
+      _mm256_storeu_ps(ci + 8,
+                       _mm256_add_ps(_mm256_loadu_ps(ci + 8), acc[i][1]));
+    }
+  } else {
+    alignas(32) float tile[kMr][kNr];
+    for (std::size_t i = 0; i < kMr; ++i) {
+      _mm256_store_ps(tile[i], acc[i][0]);
+      _mm256_store_ps(tile[i] + 8, acc[i][1]);
+    }
+    for (std::size_t i = 0; i < kMr; ++i) {
+      float* ci = c + i * ldc;
+      for (std::size_t j = 0; j < nr; ++j) ci[j] += tile[i][j];
+    }
+  }
+}
+
+#elif defined(__GNUC__) || defined(__clang__)
+
+// Full 4 x 8 micro-kernel on GNU vector extensions: eight named 128-bit
+// accumulators stay in registers across the whole reduction (a 2D local
+// array does not -- the compiler spills it to the stack every iteration,
+// which is slower than the naive loop it is meant to replace).
+using V4 = float __attribute__((vector_size(16)));
+
+inline V4 LoadV4(const float* p) {
+  V4 v;
+  __builtin_memcpy(&v, p, sizeof(v));  // unaligned-safe, no strict aliasing
+  return v;
+}
+
+void MicroKernelFull(std::size_t kc, const float* a, std::size_t lda,
+                     const float* bp, float* c, std::size_t ldc,
+                     std::size_t nr) {
+  V4 a00{}, a01{}, a10{}, a11{}, a20{}, a21{}, a30{}, a31{};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const V4 b0 = LoadV4(bp + p * kNr);
+    const V4 b1 = LoadV4(bp + p * kNr + 4);
+    const float x0 = a[p];
+    const float x1 = a[lda + p];
+    const float x2 = a[2 * lda + p];
+    const float x3 = a[3 * lda + p];
+    a00 += x0 * b0;
+    a01 += x0 * b1;
+    a10 += x1 * b0;
+    a11 += x1 * b1;
+    a20 += x2 * b0;
+    a21 += x2 * b1;
+    a30 += x3 * b0;
+    a31 += x3 * b1;
+  }
+  float tile[kMr][kNr];
+  __builtin_memcpy(tile[0], &a00, sizeof(V4));
+  __builtin_memcpy(tile[0] + 4, &a01, sizeof(V4));
+  __builtin_memcpy(tile[1], &a10, sizeof(V4));
+  __builtin_memcpy(tile[1] + 4, &a11, sizeof(V4));
+  __builtin_memcpy(tile[2], &a20, sizeof(V4));
+  __builtin_memcpy(tile[2] + 4, &a21, sizeof(V4));
+  __builtin_memcpy(tile[3], &a30, sizeof(V4));
+  __builtin_memcpy(tile[3] + 4, &a31, sizeof(V4));
+  for (std::size_t i = 0; i < kMr; ++i) {
+    float* ci = c + i * ldc;
+    for (std::size_t j = 0; j < nr; ++j) ci[j] += tile[i][j];
+  }
+}
+
+#else
+
+// Full MR x NR micro-kernel, last-resort portable version: fixed-extent
+// loops over a local accumulator tile, left to the auto-vectorizer.
+void MicroKernelFull(std::size_t kc, const float* a, std::size_t lda,
+                     const float* bp, float* c, std::size_t ldc,
+                     std::size_t nr) {
+  float acc[kMr][kNr] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* b = bp + p * kNr;
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const float ai = a[i * lda + p];
+      for (std::size_t j = 0; j < kNr; ++j) acc[i][j] += ai * b[j];
+    }
+  }
+  for (std::size_t i = 0; i < kMr; ++i) {
+    float* ci = c + i * ldc;
+    for (std::size_t j = 0; j < nr; ++j) ci[j] += acc[i][j];
+  }
+}
+
+#endif
+
+// Row-tail micro-kernel (mr < kMr): one accumulator row at a time.
+void MicroKernelTail(std::size_t mr, std::size_t kc, const float* a,
+                     std::size_t lda, const float* bp, float* c,
+                     std::size_t ldc, std::size_t nr) {
+  for (std::size_t i = 0; i < mr; ++i) {
+    float acc[kNr] = {};
+    const float* ai = a + i * lda;
+    for (std::size_t p = 0; p < kc; ++p) {
+      const float aip = ai[p];
+      const float* b = bp + p * kNr;
+      for (std::size_t j = 0; j < kNr; ++j) acc[j] += aip * b[j];
+    }
+    float* ci = c + i * ldc;
+    for (std::size_t j = 0; j < nr; ++j) ci[j] += acc[j];
+  }
+}
+
+// Shared blocked driver.  `k` is the reduction extent, `m` the output
+// width; `pack` materializes the packed panels of the current K-tile.
+template <typename PackFn>
+void TiledGemm(const MatrixF& a, std::size_t k, std::size_t m, MatrixF& c,
+               GemmScratch& scratch, PackFn&& pack) {
+  const std::size_t n = a.rows();
+  c.Resize(n, m);
+  std::fill(c.flat().begin(), c.flat().end(), 0.f);
+  if (n == 0 || m == 0 || k == 0) return;
+
+  const std::size_t panels = (m + kNr - 1) / kNr;
+  scratch.bpack.resize(panels * std::min(kKc, k) * kNr);
+  for (std::size_t pc = 0; pc < k; pc += kKc) {
+    const std::size_t kc = std::min(kKc, k - pc);
+    pack(pc, kc, scratch.bpack.data());
+    for (std::size_t ic = 0; ic < n; ic += kMc) {
+      const std::size_t mc = std::min(kMc, n - ic);
+      for (std::size_t jp = 0; jp < panels; ++jp) {
+        const std::size_t j0 = jp * kNr;
+        const std::size_t nr = std::min(kNr, m - j0);
+        const float* bp = scratch.bpack.data() + jp * kc * kNr;
+        std::size_t ir = 0;
+        for (; ir + kMr <= mc; ir += kMr) {
+          MicroKernelFull(kc, a.row(ic + ir).data() + pc, a.cols(), bp,
+                          c.row(ic + ir).data() + j0, m, nr);
+        }
+        if (ir < mc) {
+          MicroKernelTail(mc - ir, kc, a.row(ic + ir).data() + pc, a.cols(),
+                          bp, c.row(ic + ir).data() + j0, m, nr);
+        }
+      }
+    }
+  }
+}
+
+GemmScratch& ThreadLocalScratch() {
+  thread_local GemmScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+const char* KernelArchName() {
+#if defined(__AVX2__) && defined(__FMA__)
+  return "avx2+fma";
+#else
+  return "portable";
+#endif
+}
+
+void MatMulInto(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                GemmScratch& scratch) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("MatMulInto: inner dimensions differ");
+  }
+  TiledGemm(a, a.cols(), b.cols(), c, scratch,
+            [&b](std::size_t pc, std::size_t kc, float* dst) {
+              PackB(b, pc, kc, dst);
+            });
+}
+
+void MatMulInto(const MatrixF& a, const MatrixF& b, MatrixF& c) {
+  MatMulInto(a, b, c, ThreadLocalScratch());
+}
+
+void MatMulBTInto(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                  GemmScratch& scratch) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("MatMulBTInto: inner dimensions differ");
+  }
+  TiledGemm(a, a.cols(), b.rows(), c, scratch,
+            [&b](std::size_t pc, std::size_t kc, float* dst) {
+              PackBT(b, pc, kc, dst);
+            });
+}
+
+void MatMulBTInto(const MatrixF& a, const MatrixF& b, MatrixF& c) {
+  MatMulBTInto(a, b, c, ThreadLocalScratch());
+}
+
+void Int8GemmInto(const MatrixI8& x, const MatrixI8& w, MatrixI32& out) {
+  if (x.cols() != w.rows()) {
+    throw std::invalid_argument("Int8GemmInto: inner dimensions differ");
+  }
+  const std::size_t n = x.rows();
+  const std::size_t k = x.cols();
+  const std::size_t m = w.cols();
+  out.Resize(n, m);
+  std::fill(out.flat().begin(), out.flat().end(), 0);
+  if (n == 0 || m == 0 || k == 0) return;
+
+  // Four output rows per sweep: each loaded row of W feeds four
+  // accumulator rows, quartering W traffic versus the naive loop.  No
+  // zero-skip branch -- dense activations rarely quantize to zero, and
+  // the branch defeats vectorization of the inner loop.
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    auto x0 = x.row(i), x1 = x.row(i + 1), x2 = x.row(i + 2),
+         x3 = x.row(i + 3);
+    auto o0 = out.row(i), o1 = out.row(i + 1), o2 = out.row(i + 2),
+         o3 = out.row(i + 3);
+    for (std::size_t p = 0; p < k; ++p) {
+      const std::int32_t a0 = x0[p], a1 = x1[p], a2 = x2[p], a3 = x3[p];
+      auto wp = w.row(p);
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::int32_t wj = wp[j];
+        o0[j] += a0 * wj;
+        o1[j] += a1 * wj;
+        o2[j] += a2 * wj;
+        o3[j] += a3 * wj;
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    auto xi = x.row(i);
+    auto oi = out.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const std::int32_t a = xi[p];
+      auto wp = w.row(p);
+      for (std::size_t j = 0; j < m; ++j) oi[j] += a * wp[j];
+    }
+  }
+}
+
+float DotProduct(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("DotProduct: length mismatch");
+  }
+  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
+  std::size_t i = 0;
+  for (; i + 4 <= a.size(); i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  float s = (s0 + s1) + (s2 + s3);
+  for (; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace latte

@@ -1,0 +1,75 @@
+#pragma once
+// Tiled & vectorized dense kernel library -- the compute floor under every
+// hot path (nn/linear, nn/qlinear, nn/attention, nn/encoder and the
+// per-slot workspaces of runtime/batch_runner).
+//
+// The GEMM family is blocked three ways: the reduction dimension in K-tiles
+// that keep a packed panel of B resident in L1, output columns in
+// register-width panels (packed contiguously, zero-padded to the panel
+// width so the micro-kernel never branches on a column tail), and output
+// rows in register tiles.  The micro-kernel accumulates an MR x NR tile of
+// C entirely in registers.  SIMD dispatch is compile-time: with AVX2+FMA
+// available (build with -DLATTE_NATIVE_ARCH=ON) an intrinsics micro-kernel
+// is selected; otherwise a portable register-tiled kernel that
+// auto-vectorizes on the baseline ISA.  `KernelArchName()` reports which
+// one was compiled in.
+//
+// Accumulation order differs from the naive triple loop, so float results
+// agree with the scalar reference only to rounding (compare with relative
+// tolerance; tests/kernels_test.cpp uses 1e-4).  Every kernel is
+// deterministic: the same inputs produce bit-identical outputs on every
+// call, with or without a reused scratch, which is what keeps the batched
+// runtime's exact batch-vs-sequential tests meaningful.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace latte {
+
+/// Reusable packing scratch for the tiled GEMM family.  Lease one from a
+/// runtime Workspace (`ws.gemm()`) on hot paths; at steady-state shapes the
+/// pack buffer stops growing and GEMM calls allocate nothing.
+struct GemmScratch {
+  std::vector<float> bpack;  ///< packed B panels for the current K-tile
+
+  std::size_t CapacityBytes() const {
+    return bpack.capacity() * sizeof(float);
+  }
+};
+
+/// Compile-time selected micro-kernel ISA: "avx2+fma" or "portable".
+const char* KernelArchName();
+
+/// C = A * B.  A is (n x k), B is (k x m); c is resized to (n x m) and
+/// fully overwritten.  Throws on shape mismatch.  `c` must not alias `a`
+/// or `b`.
+void MatMulInto(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                GemmScratch& scratch);
+
+/// As above with an internal thread-local scratch (thin-shim convenience
+/// for call sites that have no Workspace).
+void MatMulInto(const MatrixF& a, const MatrixF& b, MatrixF& c);
+
+/// C = A * B^T.  A is (n x d), B is (m x d); c is resized to (n x m) and
+/// fully overwritten.  The natural layout for attention scores S = Q K^T.
+/// Throws on shape mismatch.  `c` must not alias `a` or `b`.
+void MatMulBTInto(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                  GemmScratch& scratch);
+
+/// As above with an internal thread-local scratch.
+void MatMulBTInto(const MatrixF& a, const MatrixF& b, MatrixF& c);
+
+/// Exact int8 GEMM with int32 accumulation: out = x * w where x is
+/// (n x k) codes and w is (k x m) codes.  Integer accumulation is
+/// associative, so the row-blocked loop is bit-exact against the naive
+/// reference.  out is resized to (n x m) and fully overwritten.
+void Int8GemmInto(const MatrixI8& x, const MatrixI8& w, MatrixI32& out);
+
+/// Dot product with unrolled partial sums (reordered accumulation;
+/// deterministic).  a and b must have equal length.
+float DotProduct(std::span<const float> a, std::span<const float> b);
+
+}  // namespace latte

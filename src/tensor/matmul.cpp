@@ -3,14 +3,35 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernels.hpp"
+
 namespace latte {
 
 MatrixF MatMul(const MatrixF& a, const MatrixF& b) {
   if (a.cols() != b.rows()) {
     throw std::invalid_argument("MatMul: inner dimensions differ");
   }
+  MatrixF c;
+  MatMulInto(a, b, c);
+  return c;
+}
+
+MatrixF MatMulBT(const MatrixF& a, const MatrixF& b) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("MatMulBT: inner dimensions differ");
+  }
+  MatrixF c;
+  MatMulBTInto(a, b, c);
+  return c;
+}
+
+MatrixF MatMulSkipZeros(const MatrixF& a, const MatrixF& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("MatMulSkipZeros: inner dimensions differ");
+  }
   MatrixF c(a.rows(), b.cols());
-  // i-k-j loop order: streams over B rows, friendly to the row-major layout.
+  // i-k-j loop order: streams over B rows, friendly to the row-major
+  // layout; the zero test makes cost proportional to nnz(A).
   for (std::size_t i = 0; i < a.rows(); ++i) {
     auto ci = c.row(i);
     auto ai = a.row(i);
@@ -19,23 +40,6 @@ MatrixF MatMul(const MatrixF& a, const MatrixF& b) {
       if (aik == 0.f) continue;
       auto bk = b.row(k);
       for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
-    }
-  }
-  return c;
-}
-
-MatrixF MatMulBT(const MatrixF& a, const MatrixF& b) {
-  if (a.cols() != b.cols()) {
-    throw std::invalid_argument("MatMulBT: inner dimensions differ");
-  }
-  MatrixF c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    auto ai = a.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      auto bj = b.row(j);
-      float acc = 0.f;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += ai[k] * bj[k];
-      c(i, j) = acc;
     }
   }
   return c;
@@ -50,15 +54,20 @@ MatrixF Transpose(const MatrixF& a) {
 }
 
 MatrixF Add(const MatrixF& a, const MatrixF& b) {
+  MatrixF c;
+  AddInto(a, b, c);
+  return c;
+}
+
+void AddInto(const MatrixF& a, const MatrixF& b, MatrixF& out) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) {
     throw std::invalid_argument("Add: shape mismatch");
   }
-  MatrixF c(a.rows(), a.cols());
+  out.Resize(a.rows(), a.cols());
   auto af = a.flat();
   auto bf = b.flat();
-  auto cf = c.flat();
+  auto cf = out.flat();
   for (std::size_t i = 0; i < af.size(); ++i) cf[i] = af[i] + bf[i];
-  return c;
 }
 
 void AddBiasInPlace(MatrixF& a, std::span<const float> bias) {

@@ -6,17 +6,32 @@
 namespace latte {
 
 /// C = A * B.  A is (n x k), B is (k x m).  Throws on shape mismatch.
+/// Thin allocating shim over the tiled kernel (tensor/kernels.hpp);
+/// accumulation order matches MatMulInto bit for bit, not the naive loop.
 MatrixF MatMul(const MatrixF& a, const MatrixF& b);
 
 /// C = A * B^T.  A is (n x d), B is (m x d).  Throws on shape mismatch.
-/// This is the natural layout for attention scores S = Q * K^T.
+/// This is the natural layout for attention scores S = Q * K^T.  Thin
+/// allocating shim over the tiled kernel, like MatMul.
 MatrixF MatMulBT(const MatrixF& a, const MatrixF& b);
+
+/// C = A * B for a sparse-in-A multiplicand: the inner loop skips zero
+/// elements of A, so cost scales with nnz(A) instead of n*k.  This is the
+/// seed's scalar loop; keep it for genuinely sparse inputs (e.g. masked
+/// score rows) -- on dense inputs the per-element branch makes it several
+/// times slower than MatMul.
+MatrixF MatMulSkipZeros(const MatrixF& a, const MatrixF& b);
 
 /// Returns A^T.
 MatrixF Transpose(const MatrixF& a);
 
 /// C = A + B (elementwise).  Throws on shape mismatch.
 MatrixF Add(const MatrixF& a, const MatrixF& b);
+
+/// out = A + B elementwise into a caller-owned matrix (resized, fully
+/// overwritten) so reused scratch slots stay allocation-free.  `out` may
+/// alias `a` or `b`.
+void AddInto(const MatrixF& a, const MatrixF& b, MatrixF& out);
 
 /// Adds a row vector `bias` (length == a.cols()) to every row of `a` in place.
 void AddBiasInPlace(MatrixF& a, std::span<const float> bias);

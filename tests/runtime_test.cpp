@@ -285,6 +285,27 @@ TEST(BatchRunnerTest, AdaptedDenseAttentionMatchesSequential) {
   }
 }
 
+TEST(BatchRunnerTest, WorkspaceDenseAttentionMatchesSequential) {
+  // The workspace-leasing dense attention must be bit-identical to both
+  // the adapted allocating one and the sequential reference, while the
+  // per-slot arenas (scores slot + GEMM pack buffer) absorb the scratch.
+  Rng rng(7);
+  EncoderConfig cfg;
+  cfg.hidden = 64;
+  cfg.heads = 2;
+  const auto w = MakeEncoderWeights(rng, cfg);
+  const auto xs = SeededBatch(15, 6, cfg.hidden);
+
+  BatchRunner runner(2);
+  const auto got =
+      EncoderForwardBatch(xs, w, cfg, MakeWorkspaceDenseAttentionFn(), runner);
+  ASSERT_EQ(got.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(got[i], EncoderForwardDense(xs[i], w, cfg)) << "sequence " << i;
+  }
+  EXPECT_GT(runner.workspace(0).CapacityBytes(), 0u);
+}
+
 TEST(BatchRunnerTest, SingleWorkerRunnerStillWorks) {
   const ModelConfig small = ScaledDown(BertBase(), 6);
   const ModelInstance model(small, 3);
