@@ -2,9 +2,13 @@
 """Perf-regression gate over the BENCH_*.json trajectory.
 
 Compares the current bench outputs (BENCH_kernels.json, BENCH_runtime.json,
-BENCH_serving.json) against the recorded baselines in bench/baselines/ and
-fails (exit 1) with a delta table when a gated metric regresses beyond the
-tolerance (default +-25%).
+BENCH_serving.json, BENCH_cluster.json) against the recorded baselines in
+bench/baselines/ and fails (exit 1) with a delta table when a gated metric
+regresses beyond the tolerance (default +-25%).
+
+``--update`` re-records the baselines instead of gating: every current
+BENCH_*.json is copied over its counterpart in the baselines directory.
+Use it from a fresh local run in the same PR that justifies the shift.
 
 Gated by default are the metrics that are stable across host machines:
 
@@ -12,8 +16,11 @@ Gated by default are the metrics that are stable across host machines:
   workspace-reuse speedup), checked against ``baseline * (1 - tolerance)``
   -- improvements never fail;
 - deterministic counts (serving requests/batches/accepted/rejected per
-  rate x policy cell), checked exactly: the batch former is trace-driven,
-  so any drift is a policy change, not noise.
+  rate x policy cell, cluster routing counts per rate x replicas x policy
+  cell), checked exactly: the batch former and router are trace-driven,
+  so any drift is a policy change, not noise;
+- the cluster headline bit (length-bucketed routing beats round-robin on
+  batch density or p99 in at least one cell), checked exactly.
 
 Absolute measurements (GFLOP/s, milliseconds, tokens/s) and thread-scaling
 factors vary with the host that recorded the baseline, so they are
@@ -27,6 +34,7 @@ appended there as Markdown so every CI run shows its perf trajectory.
 import argparse
 import json
 import os
+import shutil
 import sys
 
 OK, FAIL, INFO = "ok", "FAIL", "info"
@@ -38,6 +46,13 @@ def load(path):
             return json.load(f)
     except FileNotFoundError:
         return None
+    except json.JSONDecodeError as e:
+        # A truncated or hand-mangled file: name it instead of dumping a
+        # stack trace (missing files stay None so callers can phrase the
+        # "did the bench run?" hint themselves).
+        print("error: %s is not valid JSON (%s)" % (path, e),
+              file=sys.stderr)
+        sys.exit(2)
 
 
 class Gate:
@@ -140,6 +155,47 @@ def compare_runtime(gate, base, cur):
                    point["tokens_per_s"], got["tokens_per_s"], "info-higher")
 
 
+def compare_cluster(gate, base, cur):
+    def key(r):
+        return (r["arrival_rps"], r["replicas"], r["policy"])
+
+    cur_results = {key(r): r for r in cur["results"]}
+    for res in base["results"]:
+        k = key(res)
+        name = "rps=%g/x%d/%s" % k
+        got = cur_results.get(k)
+        if got is None:
+            gate.missing("cluster", name)
+            continue
+        # Routing and forming are trace-driven: counts must match exactly.
+        for field in ("requests", "batches", "admitted", "rejected",
+                      "rerouted"):
+            gate.check("cluster", "%s.%s" % (name, field), res[field],
+                       got[field], "exact")
+        gate.check("cluster", "%s.fill" % name, res["mean_batch_fill"],
+                   got["mean_batch_fill"], "info-higher")
+        gate.check("cluster", "%s.p99_ms" % name, res["p99_ms"],
+                   got["p99_ms"], "info-lower")
+    cur_cmp = {(c["arrival_rps"], c["replicas"]): c
+               for c in cur["comparisons"]}
+    for cmp in base["comparisons"]:
+        k = (cmp["arrival_rps"], cmp["replicas"])
+        name = "rps=%g/x%d" % k
+        got = cur_cmp.get(k)
+        if got is None:
+            gate.missing("cluster", "comparison %s" % name)
+            continue
+        gate.check("cluster", "%s.fill_gain" % name, cmp["fill_gain"],
+                   got["fill_gain"], "info-higher")
+        gate.check("cluster", "%s.p99_ratio" % name, cmp["p99_ratio"],
+                   got["p99_ratio"], "info-lower")
+    # The headline the ROADMAP acceptance rides on: once recorded true, the
+    # bucketed-beats-round-robin bit may never silently flip back.
+    gate.check("cluster", "bucketed_beats_round_robin",
+               base["bucketed_beats_round_robin"],
+               cur["bucketed_beats_round_robin"], "exact")
+
+
 def compare_serving(gate, base, cur):
     def key(r):
         return (r["arrival_rps"], r["policy"])
@@ -173,14 +229,35 @@ def main():
     ap.add_argument("--strict", action="store_true",
                     help="also gate machine-dependent absolute metrics "
                          "(same-host comparisons only)")
+    ap.add_argument("--update", action="store_true",
+                    help="re-record the baselines from the current "
+                         "BENCH_*.json files instead of gating")
     args = ap.parse_args()
 
-    gate = Gate(args.tolerance, args.strict)
     benches = (
         ("BENCH_kernels.json", compare_kernels),
         ("BENCH_runtime.json", compare_runtime),
         ("BENCH_serving.json", compare_serving),
+        ("BENCH_cluster.json", compare_cluster),
     )
+
+    if args.update:
+        # Check every current file first so a partial run cannot leave the
+        # baselines directory half re-recorded.
+        missing = [name for name, _ in benches
+                   if load(os.path.join(args.current, name)) is None]
+        if missing:
+            print("error: missing current %s (run the benches before "
+                  "--update)" % ", ".join(missing), file=sys.stderr)
+            return 2
+        for name, _ in benches:
+            src = os.path.join(args.current, name)
+            dst = os.path.join(args.baselines, name)
+            shutil.copyfile(src, dst)
+            print("re-recorded %s -> %s" % (src, dst))
+        return 0
+
+    gate = Gate(args.tolerance, args.strict)
     for name, compare in benches:
         base = load(os.path.join(args.baselines, name))
         cur = load(os.path.join(args.current, name))
@@ -191,7 +268,15 @@ def main():
             print("error: missing current %s (did the bench run?)" % name,
                   file=sys.stderr)
             return 2
-        compare(gate, base, cur)
+        try:
+            compare(gate, base, cur)
+        except KeyError as e:
+            # A baseline (or current) file predating a schema change: name
+            # the missing key instead of dumping a stack trace.
+            print("error: %s is missing key %s -- re-record the baseline "
+                  "with:  python3 bench/check_regression.py --update"
+                  % (name, e), file=sys.stderr)
+            return 2
 
     gate.render(sys.stdout, markdown=False)
     summary = os.environ.get("GITHUB_STEP_SUMMARY")

@@ -1,0 +1,108 @@
+#include "cluster/accounting.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace latte {
+namespace {
+
+double Imbalance(const std::vector<std::size_t>& per_replica) {
+  if (per_replica.empty()) return 0;
+  std::size_t total = 0;
+  std::size_t peak = 0;
+  for (std::size_t v : per_replica) {
+    total += v;
+    peak = std::max(peak, v);
+  }
+  if (total == 0) return 0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(per_replica.size());
+  return static_cast<double>(peak) / mean;
+}
+
+}  // namespace
+
+ClusterReport BuildClusterReport(const std::vector<ReplicaDrainView>& fleet) {
+  ClusterReport cluster;
+  cluster.replicas.reserve(fleet.size());
+
+  std::vector<double> latencies;    // pooled across the fleet
+  std::vector<std::size_t> counts;  // admitted requests per replica
+  std::vector<std::size_t> tokens;  // admitted tokens per replica
+  double busy_s = 0;
+  double first_arrival = 0;
+  double last_done = 0;
+  bool any_batch = false;
+  std::size_t total_batches = 0;
+  std::size_t total_workers = 0;
+  double fill_weighted = 0;  // sum over batches of per-batch fill
+
+  for (const ReplicaDrainView& view : fleet) {
+    if (view.offers == nullptr || view.result == nullptr) {
+      throw std::invalid_argument(
+          "BuildClusterReport: every ReplicaDrainView needs offers and "
+          "result (got a null pointer)");
+    }
+    const ServingResult& res = *view.result;
+    const std::vector<TimedRequest>& offers = *view.offers;
+
+    ReplicaAccounting acc;
+    acc.name = view.name;
+    acc.online = view.online;
+    acc.admission = res.admission;
+    acc.report = res.report();
+    acc.requests = res.offered_ids.size();
+    total_workers += view.workers;
+
+    // Per-request latency and per-batch fill from the dispatch schedule:
+    // request latency is its batch's completion minus its own arrival.
+    double replica_fill = 0;
+    for (std::size_t b = 0; b < res.batches.size(); ++b) {
+      const FormedBatch& batch = res.batches[b];
+      const double done = res.schedule.done_s[b];
+      std::size_t max_len = 0;
+      for (std::size_t idx : batch.indices) {
+        const TimedRequest& req = offers[res.offered_ids[idx]];
+        latencies.push_back(done - req.arrival_s);
+        acc.tokens += req.length;
+        max_len = std::max(max_len, req.length);
+        if (!any_batch || req.arrival_s < first_arrival) {
+          first_arrival = req.arrival_s;
+        }
+        any_batch = true;
+      }
+      last_done = std::max(last_done, done);
+      const double fill =
+          max_len == 0
+              ? 1.0
+              : static_cast<double>(batch.tokens) /
+                    (static_cast<double>(max_len) *
+                     static_cast<double>(batch.indices.size()));
+      replica_fill += fill;
+      fill_weighted += fill;
+      acc.busy_s += res.schedule.service_s[b];
+    }
+    busy_s += acc.busy_s;
+    total_batches += res.batches.size();
+    acc.mean_batch_fill = res.batches.empty()
+                              ? 0
+                              : replica_fill /
+                                    static_cast<double>(res.batches.size());
+
+    counts.push_back(acc.requests);
+    tokens.push_back(acc.tokens);
+    cluster.replicas.push_back(std::move(acc));
+  }
+
+  const double span = any_batch ? last_done - first_arrival : 0;
+  cluster.fleet = BuildServingReport(latencies, total_batches, busy_s, span,
+                                     total_workers == 0 ? 1 : total_workers);
+  cluster.request_imbalance = Imbalance(counts);
+  cluster.token_imbalance = Imbalance(tokens);
+  cluster.mean_batch_fill =
+      total_batches == 0 ? 0
+                         : fill_weighted / static_cast<double>(total_batches);
+  return cluster;
+}
+
+}  // namespace latte

@@ -1,0 +1,63 @@
+#pragma once
+// Cluster-level performance accounting: merges per-replica ServingReports
+// into one fleet view.
+//
+// Percentiles do not compose (a fleet p99 is not a mean of replica p99s),
+// so the merge goes back to first principles: per-request latencies are
+// recomputed from each replica's dispatch schedule and pooled, and the
+// fleet report is built by the same BuildServingReport the single-engine
+// path uses.  On top of the pooled report the cluster adds the signals a
+// fleet operator watches: per-replica utilization, routing imbalance and
+// batch density (how full formed batches are relative to their padded
+// footprint -- the metric length-bucketed routing exists to maximize).
+
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace latte {
+
+/// One replica's slice of the fleet accounting.
+struct ReplicaAccounting {
+  std::string name;
+  ServingReport report;      ///< the replica's own virtual-time report
+  AdmissionStats admission;  ///< offers the router sent to this replica
+  bool online = true;        ///< still in rotation when the stream drained
+  std::size_t requests = 0;  ///< admitted requests
+  std::size_t tokens = 0;    ///< admitted tokens
+  double busy_s = 0;         ///< worker-seconds of modeled service
+  /// Mean over formed batches of tokens / (batch_size * max_len): 1.0
+  /// means every member is as long as the batch's longest (no padding
+  /// waste on a padded backend).
+  double mean_batch_fill = 0;
+};
+
+/// Fleet-level view of one drained cluster stream.
+struct ClusterReport {
+  ServingReport fleet;  ///< pooled per-request latencies, fleet span/busy
+  std::vector<ReplicaAccounting> replicas;
+  /// max/mean of admitted requests (resp. tokens) across replicas; 1.0 is
+  /// perfect balance, R is everything-on-one-replica for R replicas.
+  double request_imbalance = 0;
+  double token_imbalance = 0;
+  /// Batch-weighted mean of the per-replica batch fill.
+  double mean_batch_fill = 0;
+};
+
+/// Everything the fleet merge needs from one drained replica.
+struct ReplicaDrainView {
+  std::string name;
+  bool online = true;
+  std::size_t workers = 1;  ///< the replica's virtual backend slots
+  /// Requests offered to this replica, indexed by its Push() ordinal
+  /// (what ServingResult::offered_ids points into).
+  const std::vector<TimedRequest>* offers = nullptr;
+  const ServingResult* result = nullptr;
+};
+
+/// Merges drained replicas into a ClusterReport.  Deterministic: pure
+/// arithmetic over the virtual-time schedules.
+ClusterReport BuildClusterReport(const std::vector<ReplicaDrainView>& fleet);
+
+}  // namespace latte

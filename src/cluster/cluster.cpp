@@ -1,0 +1,194 @@
+#include "cluster/cluster.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace latte {
+namespace {
+
+ClusterConfig Validated(const ClusterConfig& cfg) {
+  ValidateClusterConfig(cfg);
+  return cfg;
+}
+
+}  // namespace
+
+void ValidateClusterConfig(const ClusterConfig& cfg) {
+  if (cfg.replicas.empty()) {
+    throw std::invalid_argument(
+        "ClusterConfig: replicas must name at least one replica (an empty "
+        "fleet cannot serve)");
+  }
+  for (std::size_t i = 0; i < cfg.replicas.size(); ++i) {
+    ValidateReplicaConfig(cfg.replicas[i], i);
+  }
+  const bool execute = cfg.replicas.front().engine.execute;
+  for (std::size_t i = 1; i < cfg.replicas.size(); ++i) {
+    if (cfg.replicas[i].engine.execute != execute) {
+      throw std::invalid_argument(
+          "ClusterConfig: replica[" + std::to_string(i) +
+          "].engine.execute disagrees with replica[0]; the fleet must be "
+          "uniformly functional or uniformly accounting-only (mixed modes "
+          "would make ClusterResult::outputs partially empty)");
+    }
+  }
+  ValidateRouterConfig(cfg.router, cfg.replicas.size());
+}
+
+ServingCluster::ServingCluster(const ModelInstance& model,
+                               const ClusterConfig& cfg)
+    : model_(model),
+      cfg_(Validated(cfg)),
+      execute_(cfg_.replicas.front().engine.execute),
+      router_(cfg_.router, cfg_.replicas.size()) {
+  replicas_.reserve(cfg_.replicas.size());
+  for (std::size_t i = 0; i < cfg_.replicas.size(); ++i) {
+    replicas_.push_back(std::make_unique<Replica>(model_, cfg_.replicas[i], i));
+  }
+  offers_.resize(replicas_.size());
+  offer_global_.resize(replicas_.size());
+}
+
+bool ServingCluster::Push(const TimedRequest& request) {
+  return PushImpl(request, MatrixF{}, /*has_input=*/false);
+}
+
+bool ServingCluster::Push(const TimedRequest& request, MatrixF input) {
+  return PushImpl(request, std::move(input), /*has_input=*/true);
+}
+
+bool ServingCluster::PushImpl(const TimedRequest& request, MatrixF input,
+                              bool has_input) {
+  if (routing_.offered > 0 && request.arrival_s < last_arrival_) {
+    throw std::invalid_argument(
+        "ServingCluster::Push: arrivals must be non-decreasing (got " +
+        std::to_string(request.arrival_s) + " after " +
+        std::to_string(last_arrival_) + ")");
+  }
+  // Mirror ServingEngine::Push's shape check even in accounting-only mode
+  // (where the tensor is dropped): a malformed caller input is a bug
+  // either way and must not hide until `execute` is flipped on.
+  if (has_input && (input.rows() != request.length ||
+                    input.cols() != model_.config().encoder.hidden)) {
+    throw std::invalid_argument(
+        "ServingCluster::Push: input must be length x hidden (" +
+        std::to_string(request.length) + " x " +
+        std::to_string(model_.config().encoder.hidden) + "), got " +
+        std::to_string(input.rows()) + " x " + std::to_string(input.cols()));
+  }
+  const std::size_t ordinal = routing_.offered++;
+  last_arrival_ = request.arrival_s;
+
+  // Advance every replica to the arrival instant so the router compares
+  // like-for-like load signals, then rank.
+  std::vector<ReplicaSnapshot> fleet;
+  fleet.reserve(replicas_.size());
+  for (auto& r : replicas_) fleet.push_back(r->SnapshotAt(request.arrival_s));
+  const std::vector<std::size_t> ranked = router_.Rank(request, fleet);
+
+  if (ranked.empty()) {
+    ++routing_.rejected;
+    ++routing_.unroutable;
+    replica_of_.push_back(ClusterResult::npos());
+    return false;
+  }
+
+  // Offer down the preference order, skipping replicas whose waiting room
+  // is already full at this instant (the same admission test the engine
+  // itself applies, so the first non-full replica always accepts).
+  for (std::size_t rank = 0; rank < ranked.size(); ++rank) {
+    const std::size_t idx = ranked[rank];
+    const ReplicaSnapshot& snap = fleet[idx];
+    if (snap.queue_capacity > 0 && snap.queue_depth >= snap.queue_capacity) {
+      continue;
+    }
+    const bool accepted =
+        execute_
+            ? replicas_[idx]->Offer(
+                  request,
+                  has_input ? std::move(input)
+                            : SynthesizeRequestEmbedding(
+                                  cfg_.embed_seed, ordinal, request.length,
+                                  model_.config().encoder.hidden))
+            : replicas_[idx]->Offer(request);
+    if (!accepted) {
+      // The snapshot said there was room; the engine disagreeing means the
+      // two admission tests diverged -- a bug, not a policy outcome.
+      throw std::logic_error(
+          "ServingCluster::Push: replica \"" + replicas_[idx]->name() +
+          "\" rejected a request its snapshot had room for");
+    }
+    offers_[idx].push_back(request);
+    offer_global_[idx].push_back(ordinal);
+    replica_of_.push_back(idx);
+    ++routing_.admitted;
+    if (rank > 0) ++routing_.rerouted;
+    return true;
+  }
+
+  ++routing_.rejected;
+  replica_of_.push_back(ClusterResult::npos());
+  return false;
+}
+
+ClusterResult ServingCluster::Drain() {
+  ClusterResult result;
+  result.routing = routing_;
+  result.replica_of = std::move(replica_of_);
+  result.replica_results.reserve(replicas_.size());
+  for (auto& r : replicas_) result.replica_results.push_back(r->Drain());
+
+  // Map per-replica outputs back to cluster Push() ordinals.
+  if (execute_) {
+    result.outputs.resize(result.routing.offered);
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+      ServingResult& res = result.replica_results[r];
+      for (std::size_t i = 0; i < res.outputs.size(); ++i) {
+        const std::size_t global = offer_global_[r][res.offered_ids[i]];
+        result.outputs[global] = std::move(res.outputs[i]);
+      }
+    }
+  }
+
+  std::vector<ReplicaDrainView> views;
+  views.reserve(replicas_.size());
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    ReplicaDrainView view;
+    view.name = replicas_[r]->name();
+    view.online = replicas_[r]->online();
+    view.workers = replicas_[r]->engine_config().workers;
+    view.offers = &offers_[r];
+    view.result = &result.replica_results[r];
+    views.push_back(view);
+  }
+  result.report = BuildClusterReport(views);
+
+  ResetStream();
+  return result;
+}
+
+ClusterResult ServingCluster::Replay(const std::vector<TimedRequest>& trace) {
+  for (const TimedRequest& r : trace) Push(r);
+  return Drain();
+}
+
+void ServingCluster::SetOnline(std::size_t replica, bool online) {
+  if (replica >= replicas_.size()) {
+    throw std::invalid_argument(
+        "ServingCluster::SetOnline: replica index " +
+        std::to_string(replica) + " out of range (fleet has " +
+        std::to_string(replicas_.size()) + " replicas)");
+  }
+  replicas_[replica]->set_online(online);
+}
+
+void ServingCluster::ResetStream() {
+  for (auto& offers : offers_) offers.clear();
+  for (auto& ids : offer_global_) ids.clear();
+  replica_of_.clear();
+  last_arrival_ = 0;
+  routing_ = ClusterRoutingStats{};
+  router_.Reset();
+}
+
+}  // namespace latte

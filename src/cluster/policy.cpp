@@ -1,0 +1,134 @@
+#include "cluster/policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace latte {
+namespace {
+
+// Rotation over online replicas starting at `start`: the shared shape of
+// the round-robin and length-bucketed rankings.
+std::vector<std::size_t> RotationFrom(
+    std::size_t start, const std::vector<ReplicaSnapshot>& fleet) {
+  std::vector<std::size_t> ranked;
+  ranked.reserve(fleet.size());
+  for (std::size_t step = 0; step < fleet.size(); ++step) {
+    const std::size_t idx = (start + step) % fleet.size();
+    if (fleet[idx].online) ranked.push_back(idx);
+  }
+  return ranked;
+}
+
+// Online replicas sorted ascending by a load key, ties toward the lowest
+// index (std::sort on the (key, index) pair is strict-weak and total).
+template <typename KeyFn>
+std::vector<std::size_t> SortedByLoad(const std::vector<ReplicaSnapshot>& fleet,
+                                      KeyFn key) {
+  std::vector<std::size_t> ranked;
+  ranked.reserve(fleet.size());
+  for (std::size_t idx = 0; idx < fleet.size(); ++idx) {
+    if (fleet[idx].online) ranked.push_back(idx);
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](std::size_t a, std::size_t b) {
+    const std::size_t ka = key(fleet[a]);
+    const std::size_t kb = key(fleet[b]);
+    return ka != kb ? ka < kb : a < b;
+  });
+  return ranked;
+}
+
+}  // namespace
+
+const char* RouterPolicyName(RouterPolicy policy) {
+  switch (policy) {
+    case RouterPolicy::kRoundRobin:
+      return "round-robin";
+    case RouterPolicy::kJoinShortestQueue:
+      return "join-shortest-queue";
+    case RouterPolicy::kLeastOutstandingTokens:
+      return "least-outstanding-tokens";
+    case RouterPolicy::kLengthBucketed:
+      return "length-bucketed";
+  }
+  return "unknown";
+}
+
+void ValidateRouterConfig(const RouterConfig& cfg, std::size_t replicas) {
+  switch (cfg.policy) {
+    case RouterPolicy::kRoundRobin:
+    case RouterPolicy::kJoinShortestQueue:
+    case RouterPolicy::kLeastOutstandingTokens:
+      break;
+    case RouterPolicy::kLengthBucketed: {
+      if (cfg.length_edges.empty()) {
+        throw std::invalid_argument(
+            "RouterConfig: length_edges must name at least one length upper "
+            "bound for the length-bucketed policy (e.g. {64, 128} for "
+            "short/medium/long buckets)");
+      }
+      std::size_t prev = 0;
+      for (std::size_t edge : cfg.length_edges) {
+        if (edge == 0) {
+          throw std::invalid_argument(
+              "RouterConfig: length_edges entries must be >= 1 (a 0-token "
+              "bucket can never match a request)");
+        }
+        if (edge <= prev && prev != 0) {
+          throw std::invalid_argument(
+              "RouterConfig: length_edges must be strictly increasing (got " +
+              std::to_string(edge) + " after " + std::to_string(prev) + ")");
+        }
+        prev = edge;
+      }
+      break;
+    }
+    default:
+      throw std::invalid_argument(
+          "RouterConfig: policy is not a known RouterPolicy value");
+  }
+  if (replicas == 0) {
+    throw std::invalid_argument(
+        "RouterConfig: a router needs at least one replica to route to");
+  }
+}
+
+Router::Router(const RouterConfig& cfg, std::size_t replicas)
+    : cfg_(cfg), replica_count_(replicas) {
+  ValidateRouterConfig(cfg_, replicas);
+}
+
+std::size_t Router::BucketOf(std::size_t length) const {
+  const auto it = std::lower_bound(cfg_.length_edges.begin(),
+                                   cfg_.length_edges.end(), length);
+  return static_cast<std::size_t>(it - cfg_.length_edges.begin());
+}
+
+std::vector<std::size_t> Router::Rank(
+    const TimedRequest& request, const std::vector<ReplicaSnapshot>& fleet) {
+  if (fleet.size() != replica_count_) {
+    throw std::invalid_argument(
+        "Router::Rank: snapshot covers " + std::to_string(fleet.size()) +
+        " replicas but the router was built for " +
+        std::to_string(replica_count_));
+  }
+  switch (cfg_.policy) {
+    case RouterPolicy::kRoundRobin: {
+      const std::size_t start = cursor_ % replica_count_;
+      ++cursor_;  // advances per offered request, online or not
+      return RotationFrom(start, fleet);
+    }
+    case RouterPolicy::kJoinShortestQueue:
+      return SortedByLoad(
+          fleet, [](const ReplicaSnapshot& s) { return s.queue_depth; });
+    case RouterPolicy::kLeastOutstandingTokens:
+      return SortedByLoad(fleet, [](const ReplicaSnapshot& s) {
+        return s.outstanding_tokens;
+      });
+    case RouterPolicy::kLengthBucketed:
+      return RotationFrom(BucketOf(request.length) % replica_count_, fleet);
+  }
+  return {};
+}
+
+}  // namespace latte

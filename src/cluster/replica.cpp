@@ -1,0 +1,46 @@
+#include "cluster/replica.hpp"
+
+#include <stdexcept>
+
+namespace latte {
+
+void ValidateReplicaConfig(const ReplicaConfig& cfg, std::size_t index) {
+  try {
+    ValidateServingEngineConfig(cfg.engine);
+  } catch (const std::invalid_argument& e) {
+    const std::string label =
+        cfg.name.empty() ? "replica[" + std::to_string(index) + "]"
+                         : "replica[" + std::to_string(index) + "] (\"" +
+                               cfg.name + "\")";
+    throw std::invalid_argument(label + ": " + e.what());
+  }
+}
+
+namespace {
+
+// Validate before the engine member is constructed, so a malformed config
+// surfaces with the replica-prefixed message rather than the engine's.
+ReplicaConfig Validated(const ReplicaConfig& cfg, std::size_t index) {
+  ValidateReplicaConfig(cfg, index);
+  return cfg;
+}
+
+}  // namespace
+
+Replica::Replica(const ModelInstance& model, const ReplicaConfig& cfg,
+                 std::size_t index)
+    : cfg_(Validated(cfg, index)),
+      name_(cfg.name.empty() ? "replica-" + std::to_string(index) : cfg.name),
+      engine_(model, cfg_.engine) {}
+
+ReplicaSnapshot Replica::SnapshotAt(double now) {
+  engine_.AdvanceTo(now);
+  ReplicaSnapshot snap;
+  snap.online = online_;
+  snap.queue_depth = engine_.queue_depth();
+  snap.outstanding_tokens = engine_.outstanding_tokens();
+  snap.queue_capacity = cfg_.engine.queue_capacity;
+  return snap;
+}
+
+}  // namespace latte

@@ -54,6 +54,16 @@ BatchServiceModel AcceleratorServiceModel(const ModelConfig& model,
   };
 }
 
+std::vector<BatchServiceModel> AcceleratorFleetServiceModels(
+    const ModelConfig& model, const std::vector<AcceleratorConfig>& accels) {
+  std::vector<BatchServiceModel> fleet;
+  fleet.reserve(accels.size());
+  for (const AcceleratorConfig& accel : accels) {
+    fleet.push_back(AcceleratorServiceModel(model, accel));
+  }
+  return fleet;
+}
+
 ServingReport SimulateServing(const ModelConfig& model,
                               const DatasetSpec& dataset,
                               const ServingConfig& cfg) {

@@ -64,6 +64,14 @@ PoissonTraceConfig ServingTrace(const ServingConfig& cfg);
 BatchServiceModel AcceleratorServiceModel(const ModelConfig& model,
                                           const AcceleratorConfig& accel);
 
+/// Service models for a heterogeneous accelerator fleet: one per
+/// configuration, each pricing batches with its own accelerator instance
+/// (different top_k, clock or baseline padding per replica).  Feed these
+/// to a ServingCluster (cluster/cluster.hpp) to model a pool of unlike
+/// performance twins behind one router.
+std::vector<BatchServiceModel> AcceleratorFleetServiceModels(
+    const ModelConfig& model, const std::vector<AcceleratorConfig>& accels);
+
 /// Simulates a request stream against the accelerator model.
 /// Lengths are sampled from the dataset; the baseline accelerator mode
 /// pads to `cfg.accel.baseline_pad_to` as usual.

@@ -5,11 +5,16 @@
 // operator (core), the transformer reference implementation (nn), the
 // scheduling algorithms (sched), the FPGA simulator (fpga), the baseline
 // platform models (platform), the batched execution runtime (runtime),
-// the streaming serving engine (serve), the workload generators
-// (workload) and the evaluation metrics (metrics).
+// the streaming serving engine (serve), the multi-replica serving cluster
+// (cluster), the workload generators (workload) and the evaluation
+// metrics (metrics).
 //
 // See README.md for a quickstart and DESIGN.md for the architecture.
 
+#include "cluster/accounting.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/policy.hpp"
+#include "cluster/replica.hpp"
 #include "core/atsel_unit.hpp"
 #include "core/candidate_selector.hpp"
 #include "core/exp_lut.hpp"

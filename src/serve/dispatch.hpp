@@ -25,6 +25,14 @@ using BatchServiceModel =
 BatchServiceModel TokenLinearServiceModel(double seconds_per_token,
                                           double batch_overhead_s);
 
+/// Padded-dense backend: every member is padded to the batch's longest
+/// sequence, so a batch costs overhead + spt * max(len) * |batch|.  The
+/// cost model of the CPU/GPU baselines and the non-length-aware FPGA mode;
+/// under it, mixing lengths in a batch wastes device time on padding --
+/// which is exactly what length-bucketed cluster routing avoids.
+BatchServiceModel PaddedServiceModel(double seconds_per_token,
+                                     double batch_overhead_s);
+
 /// Full virtual-time schedule of a formed-batch sequence.
 struct DispatchSchedule {
   ServingReport report;

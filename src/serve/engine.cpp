@@ -9,16 +9,17 @@
 #include "workload/synthetic.hpp"
 
 namespace latte {
-namespace {
 
-// Distinct, well-mixed seed per Push() ordinal so request embeddings are a
-// function of request identity alone (rejections and batch composition do
-// not disturb them).
-std::uint64_t EmbedSeed(std::uint64_t base, std::size_t ordinal) {
-  return base + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(ordinal) + 1);
+MatrixF SynthesizeRequestEmbedding(std::uint64_t base_seed,
+                                   std::size_t ordinal, std::size_t length,
+                                   std::size_t hidden) {
+  // Distinct, well-mixed seed per Push() ordinal so request embeddings are
+  // a function of request identity alone (rejections and batch composition
+  // do not disturb them).
+  Rng rng(base_seed +
+          0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(ordinal) + 1));
+  return MakeInputEmbedding(rng, length, hidden);
 }
-
-}  // namespace
 
 void ValidateServingEngineConfig(const ServingEngineConfig& cfg) {
   ValidateBatchFormerConfig(cfg.former);
@@ -26,6 +27,13 @@ void ValidateServingEngineConfig(const ServingEngineConfig& cfg) {
     throw std::invalid_argument(
         "ServingEngineConfig: workers must be >= 1 (no backend slot to "
         "account against)");
+  }
+  if (cfg.execute && cfg.inference.mode != InferenceMode::kDenseFloat &&
+      cfg.inference.mode != InferenceMode::kDenseInt8 &&
+      cfg.inference.sparse.top_k == 0) {
+    throw std::invalid_argument(
+        "ServingEngineConfig: inference.sparse.top_k must be >= 1 for the "
+        "sparse execution modes (0 selects no attention candidates)");
   }
 }
 
@@ -76,6 +84,7 @@ bool ServingEngine::PushImpl(const TimedRequest& request, MatrixF input) {
   }
   ++admission_.accepted;
   admission_.peak_queue = std::max(admission_.peak_queue, waiting + 1);
+  waiting_tokens_ += request.length;
 
   // Forming, mirroring FormBatches: a token-budget overflow seals the open
   // batch at this arrival and the request starts the next batch; the first
@@ -109,10 +118,25 @@ void ServingEngine::AdvanceTo(double now) {
     const FormedBatch& b = sealed_[next_launch_];
     const double launch = std::max(*free_it, b.ready_s);
     if (launch > now) break;
-    *free_it = launch + cfg_.service(BatchLengths(admitted_, b));
+    const double done = launch + cfg_.service(BatchLengths(admitted_, b));
+    *free_it = done;
     launched_ += b.indices.size();
+    waiting_tokens_ -= b.tokens;
+    in_service_tokens_ += b.tokens;
+    in_flight_.push_back({done, b.tokens});
     ++next_launch_;
   }
+  // Retire batches whose virtual completion has passed, so
+  // outstanding_tokens() reflects load still on this replica at `now`.
+  std::size_t kept = 0;
+  for (const auto& [done_s, tokens] : in_flight_) {
+    if (done_s <= now) {
+      in_service_tokens_ -= tokens;
+    } else {
+      in_flight_[kept++] = {done_s, tokens};
+    }
+  }
+  in_flight_.resize(kept);
 }
 
 void ServingEngine::SealOpen(BatchSeal seal, double ready_s) {
@@ -147,33 +171,36 @@ ServingResult ServingEngine::Drain() {
       ScheduleFormedBatches(admitted_, sealed_, cfg_.workers, cfg_.service);
   result.admission = admission_;
 
-  // Synthesize embeddings for requests pushed without one; identity is the
-  // Push() ordinal, so outputs do not depend on batching or rejections.
-  const std::size_t hidden = model_.config().encoder.hidden;
-  for (std::size_t i = 0; i < admitted_.size(); ++i) {
-    if (inputs_[i].empty()) {
-      Rng rng(EmbedSeed(cfg_.embed_seed, offered_ids_[i]));
-      inputs_[i] = MakeInputEmbedding(rng, admitted_[i].length, hidden);
+  if (cfg_.execute) {
+    // Synthesize embeddings for requests pushed without one; identity is
+    // the Push() ordinal, so outputs do not depend on batching or
+    // rejections.
+    const std::size_t hidden = model_.config().encoder.hidden;
+    for (std::size_t i = 0; i < admitted_.size(); ++i) {
+      if (inputs_[i].empty()) {
+        inputs_[i] = SynthesizeRequestEmbedding(
+            cfg_.embed_seed, offered_ids_[i], admitted_[i].length, hidden);
+      }
     }
-  }
 
-  // Execute every formed batch on the batched runtime.  Batches run in
-  // dispatch order; per-sequence math is bit-identical to a sequential
-  // Forward() loop at any thread count (the BatchRunner contract).
-  const auto wall0 = std::chrono::steady_clock::now();
-  result.outputs.resize(admitted_.size());
-  for (const FormedBatch& b : sealed_) {
-    std::vector<MatrixF> xs;
-    xs.reserve(b.indices.size());
-    for (std::size_t idx : b.indices) xs.push_back(std::move(inputs_[idx]));
-    auto ys = model_.ForwardBatch(xs, cfg_.inference, runner_);
-    for (std::size_t i = 0; i < b.indices.size(); ++i) {
-      result.outputs[b.indices[i]] = std::move(ys[i]);
+    // Execute every formed batch on the batched runtime.  Batches run in
+    // dispatch order; per-sequence math is bit-identical to a sequential
+    // Forward() loop at any thread count (the BatchRunner contract).
+    const auto wall0 = std::chrono::steady_clock::now();
+    result.outputs.resize(admitted_.size());
+    for (const FormedBatch& b : sealed_) {
+      std::vector<MatrixF> xs;
+      xs.reserve(b.indices.size());
+      for (std::size_t idx : b.indices) xs.push_back(std::move(inputs_[idx]));
+      auto ys = model_.ForwardBatch(xs, cfg_.inference, runner_);
+      for (std::size_t i = 0; i < b.indices.size(); ++i) {
+        result.outputs[b.indices[i]] = std::move(ys[i]);
+      }
     }
+    result.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+            .count();
   }
-  result.wall_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
-          .count();
 
   result.batches = std::move(sealed_);
   result.offered_ids = std::move(offered_ids_);
@@ -200,6 +227,9 @@ void ServingEngine::ResetStream() {
   launched_ = 0;
   last_arrival_ = 0;
   admission_ = AdmissionStats{};
+  waiting_tokens_ = 0;
+  in_service_tokens_ = 0;
+  in_flight_.clear();
 }
 
 }  // namespace latte

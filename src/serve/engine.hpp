@@ -17,6 +17,8 @@
 // time with the same dispatch policy the report uses, so rejection counts
 // are deterministic too.
 
+#include <utility>
+
 #include "model/inference.hpp"
 #include "serve/dispatch.hpp"
 
@@ -30,6 +32,12 @@ struct ServingEngineConfig {
   std::size_t queue_capacity = 0;  ///< waiting-room bound; 0 = unbounded
   InferenceConfig inference;    ///< functional datapath per sequence
   std::uint64_t embed_seed = 1;    ///< synthesized request embeddings
+  /// Run the functional datapath at Drain().  false = accounting only:
+  /// batches, admission and the virtual-time report are produced as usual
+  /// but no tensors are computed and `ServingResult::outputs` stays empty
+  /// -- the mode cluster-level policy sweeps use, where only the
+  /// deterministic virtual-time numbers matter.
+  bool execute = true;
   /// Deterministic per-batch service time for the virtual-time report;
   /// empty picks a token-linear default.  Use AcceleratorServiceModel
   /// (fpga/serving.hpp) to account exactly like the performance twin.
@@ -38,6 +46,15 @@ struct ServingEngineConfig {
 
 /// Throws std::invalid_argument naming the offending field.
 void ValidateServingEngineConfig(const ServingEngineConfig& cfg);
+
+/// The input embedding the engine synthesizes for a request pushed without
+/// one: a function of (base_seed, Push ordinal, length) alone, so request
+/// identity -- never batching, rejections or routing -- determines the
+/// tensor.  Exposed so a multi-replica cluster can synthesize the exact
+/// embedding a single engine would have used for the same offered ordinal.
+MatrixF SynthesizeRequestEmbedding(std::uint64_t base_seed,
+                                   std::size_t ordinal, std::size_t length,
+                                   std::size_t hidden);
 
 /// Admission accounting under backpressure.
 struct AdmissionStats {
@@ -91,11 +108,23 @@ class ServingEngine {
   /// Current waiting-room occupancy (admitted, batch not yet launched).
   std::size_t queue_depth() const { return admitted_.size() - launched_; }
 
+  /// Tokens admitted but not yet completed in virtual time: the waiting
+  /// room plus batches still in service.  The load signal
+  /// least-outstanding-token routing balances on.
+  std::size_t outstanding_tokens() const {
+    return waiting_tokens_ + in_service_tokens_;
+  }
+
+  /// Advances virtual time to `now` without offering a request: seals a
+  /// timed-out open batch, launches sealed batches whose dispatch time has
+  /// passed and retires completed ones.  Routers call this on every
+  /// replica before reading queue_depth() / outstanding_tokens(), so load
+  /// signals are comparable across replicas at the arrival instant.
+  /// Idempotent; a `now` earlier than the last observed time is a no-op.
+  void AdvanceTo(double now);
+
  private:
   bool PushImpl(const TimedRequest& request, MatrixF input);
-  /// Advances virtual time to `now`: seals a timed-out open batch and
-  /// launches sealed batches whose dispatch time has passed.
-  void AdvanceTo(double now);
   void SealOpen(BatchSeal seal, double ready_s);
   void ResetStream();
 
@@ -117,6 +146,11 @@ class ServingEngine {
   std::size_t launched_ = 0;     ///< admitted requests already launched
   double last_arrival_ = 0;
   AdmissionStats admission_;
+
+  // Token accounting for routing introspection (virtual time).
+  std::size_t waiting_tokens_ = 0;     ///< admitted, batch not launched
+  std::size_t in_service_tokens_ = 0;  ///< launched, batch not done
+  std::vector<std::pair<double, std::size_t>> in_flight_;  ///< (done_s, tokens)
 };
 
 }  // namespace latte

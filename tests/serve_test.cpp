@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -377,6 +378,122 @@ TEST(ServingEngineTest, UnboundedQueueAcceptsEverything) {
   // onto the free workers, so the peak sits below the trace size.
   EXPECT_GE(res.admission.peak_queue, 1u);
   EXPECT_LE(res.admission.peak_queue, trace.size());
+}
+
+TEST(ServingEngineTest, BurstyArrivalsKeepAdmissionInvariants) {
+  // Bursts of simultaneous arrivals against a small waiting room: offered
+  // must split exactly into accepted + rejected, the peak queue must
+  // respect the bound, and no rejected request may leak into the result.
+  auto cfg = SmallEngineConfig();
+  cfg.queue_capacity = 5;
+  cfg.former.max_batch = 4;
+  cfg.service = TokenLinearServiceModel(1e-4, 5e-3);
+
+  ServingEngine engine(SmallModel(), cfg);
+  std::vector<bool> accepted;
+  std::size_t offered = 0;
+  for (std::size_t burst = 0; burst < 6; ++burst) {
+    const double t = 0.01 * static_cast<double>(burst);
+    for (std::size_t i = 0; i < 8; ++i) {  // 8 simultaneous arrivals
+      accepted.push_back(engine.Push({t, 16 + 8 * (i % 3)}));
+      ++offered;
+      EXPECT_EQ(engine.admission().offered, offered);
+      EXPECT_EQ(engine.admission().accepted + engine.admission().rejected,
+                offered);
+      EXPECT_LE(engine.queue_depth(), cfg.queue_capacity);
+    }
+  }
+  const ServingResult res = engine.Drain();
+
+  const std::size_t accepted_count = static_cast<std::size_t>(
+      std::count(accepted.begin(), accepted.end(), true));
+  EXPECT_GT(accepted_count, 0u);
+  EXPECT_LT(accepted_count, offered);  // the bursts must overflow the room
+  EXPECT_EQ(res.admission.offered, offered);
+  EXPECT_EQ(res.admission.accepted, accepted_count);
+  EXPECT_EQ(res.admission.rejected, offered - accepted_count);
+  EXPECT_LE(res.admission.peak_queue, cfg.queue_capacity);
+
+  // Rejected requests never appear in the result: outputs, report and the
+  // offered-id mapping all cover exactly the accepted set.
+  EXPECT_EQ(res.outputs.size(), accepted_count);
+  EXPECT_EQ(res.report().requests, accepted_count);
+  ASSERT_EQ(res.offered_ids.size(), accepted_count);
+  std::size_t batched = 0;
+  for (const FormedBatch& b : res.batches) batched += b.indices.size();
+  EXPECT_EQ(batched, accepted_count);
+  for (std::size_t id : res.offered_ids) {
+    ASSERT_LT(id, accepted.size());
+    EXPECT_TRUE(accepted[id]) << "rejected request " << id << " in result";
+  }
+}
+
+TEST(ServingEngineTest, IntrospectionTracksVirtualTimeLoad) {
+  auto cfg = SmallEngineConfig();
+  cfg.former.max_batch = 2;
+  cfg.former.timeout_s = 0.01;
+  cfg.workers = 1;
+  cfg.service = TokenLinearServiceModel(0, 1.0);  // 1 s per batch
+  ServingEngine engine(SmallModel(), cfg);
+
+  EXPECT_EQ(engine.queue_depth(), 0u);
+  EXPECT_EQ(engine.outstanding_tokens(), 0u);
+  ASSERT_TRUE(engine.Push({0.0, 30}));
+  EXPECT_EQ(engine.queue_depth(), 1u);
+  EXPECT_EQ(engine.outstanding_tokens(), 30u);
+  // Capacity seal at the second arrival: the batch launches immediately
+  // (the worker is free), so the waiting room empties but the tokens stay
+  // outstanding until the batch completes in virtual time.
+  ASSERT_TRUE(engine.Push({0.001, 20}));
+  engine.AdvanceTo(0.001);
+  EXPECT_EQ(engine.queue_depth(), 0u);
+  EXPECT_EQ(engine.outstanding_tokens(), 50u);
+  // A later batch waits behind the 1 s service: it stays queued.
+  ASSERT_TRUE(engine.Push({0.002, 40}));
+  ASSERT_TRUE(engine.Push({0.003, 10}));
+  engine.AdvanceTo(0.003);
+  EXPECT_EQ(engine.queue_depth(), 2u);
+  EXPECT_EQ(engine.outstanding_tokens(), 100u);
+  // Past the first batch's completion the second launches; past both
+  // completions nothing is outstanding.  AdvanceTo is idempotent.
+  engine.AdvanceTo(1.5);
+  engine.AdvanceTo(1.5);
+  EXPECT_EQ(engine.queue_depth(), 0u);
+  EXPECT_EQ(engine.outstanding_tokens(), 50u);
+  engine.AdvanceTo(3.0);
+  EXPECT_EQ(engine.outstanding_tokens(), 0u);
+  (void)engine.Drain();
+}
+
+TEST(ServingEngineTest, AccountingOnlyModeSkipsTensorsButKeepsReport) {
+  const auto trace = SmallTrace(20);
+  auto cfg = SmallEngineConfig();
+  ServingEngine functional(SmallModel(), cfg);
+  const ServingResult real = functional.Replay(trace);
+
+  auto virt_cfg = cfg;
+  virt_cfg.execute = false;
+  ServingEngine virt(SmallModel(), virt_cfg);
+  const ServingResult sim = virt.Replay(trace);
+
+  EXPECT_TRUE(sim.outputs.empty());
+  EXPECT_EQ(sim.wall_s, 0.0);
+  ASSERT_EQ(sim.batches.size(), real.batches.size());
+  for (std::size_t b = 0; b < sim.batches.size(); ++b) {
+    EXPECT_EQ(sim.batches[b].indices, real.batches[b].indices);
+  }
+  EXPECT_EQ(sim.report().mean_latency_s, real.report().mean_latency_s);
+  EXPECT_EQ(sim.report().p99_latency_s, real.report().p99_latency_s);
+  EXPECT_EQ(sim.report().throughput_rps, real.report().throughput_rps);
+}
+
+TEST(DispatchTest, PaddedServiceModelChargesForPadding) {
+  const auto padded = PaddedServiceModel(1e-3, 0.01);
+  // Uniform batch: same cost as token-linear.
+  EXPECT_NEAR(padded({50, 50}), 0.01 + 1e-3 * 100, 1e-12);
+  // Mixed batch: every member is padded to the longest.
+  EXPECT_NEAR(padded({10, 50}), 0.01 + 1e-3 * 100, 1e-12);
+  EXPECT_NEAR(padded({}), 0.01, 1e-12);
 }
 
 TEST(ServingEngineTest, DrainResetsForTheNextStream) {
