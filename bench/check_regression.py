@@ -2,9 +2,9 @@
 """Perf-regression gate over the BENCH_*.json trajectory.
 
 Compares the current bench outputs (BENCH_kernels.json, BENCH_runtime.json,
-BENCH_serving.json, BENCH_cluster.json) against the recorded baselines in
-bench/baselines/ and fails (exit 1) with a delta table when a gated metric
-regresses beyond the tolerance (default +-25%).
+BENCH_serving.json, BENCH_cluster.json, BENCH_cache.json) against the
+recorded baselines in bench/baselines/ and fails (exit 1) with a delta
+table when a gated metric regresses beyond the tolerance (default +-25%).
 
 ``--update`` re-records the baselines instead of gating: every current
 BENCH_*.json is copied over its counterpart in the baselines directory.
@@ -17,10 +17,13 @@ Gated by default are the metrics that are stable across host machines:
   -- improvements never fail;
 - deterministic counts (serving requests/batches/accepted/rejected per
   rate x policy cell, cluster routing counts per rate x replicas x policy
-  cell), checked exactly: the batch former and router are trace-driven,
-  so any drift is a policy change, not noise;
+  cell, cache hit/miss/coalesce/eviction counts per population x skew x
+  eviction cell), checked exactly: the batch former, router and cache are
+  trace-driven, so any drift is a policy change, not noise;
 - the cluster headline bit (length-bucketed routing beats round-robin on
-  batch density or p99 in at least one cell), checked exactly.
+  batch density or p99 in at least one cell) and the cache headline bit
+  (cached beats uncached on p99 and throughput in every cell with >= 20%
+  duplicates), checked exactly.
 
 Absolute measurements (GFLOP/s, milliseconds, tokens/s) and thread-scaling
 factors vary with the host that recorded the baseline, so they are
@@ -196,6 +199,36 @@ def compare_cluster(gate, base, cur):
                cur["bucketed_beats_round_robin"], "exact")
 
 
+def compare_cache(gate, base, cur):
+    def key(r):
+        return (r["population"], r["skew"], r["eviction"])
+
+    cur_results = {key(r): r for r in cur["results"]}
+    for res in base["results"]:
+        k = key(res)
+        name = "pop=%d/s=%g/%s" % k
+        got = cur_results.get(k)
+        if got is None:
+            gate.missing("cache", name)
+            continue
+        # The trace, the cache and the virtual clock are all deterministic:
+        # lookup outcomes and store churn must match exactly.
+        for field in ("requests", "batches", "hits", "coalesced", "misses",
+                      "evictions", "insertions"):
+            gate.check("cache", "%s.%s" % (name, field), res[field],
+                       got[field], "exact")
+        gate.check("cache", "%s.p99_ratio" % name, res["p99_ratio"],
+                   got["p99_ratio"], "info-lower")
+        gate.check("cache", "%s.throughput_gain" % name,
+                   res["throughput_gain"], got["throughput_gain"],
+                   "info-higher")
+    # The headline the acceptance rides on: once recorded true, the
+    # cached-beats-uncached-at->=20%-duplicates bit may never flip back.
+    gate.check("cache", "cache_beats_uncached_at_dup_gate",
+               base["cache_beats_uncached_at_dup_gate"],
+               cur["cache_beats_uncached_at_dup_gate"], "exact")
+
+
 def compare_serving(gate, base, cur):
     def key(r):
         return (r["arrival_rps"], r["policy"])
@@ -239,6 +272,7 @@ def main():
         ("BENCH_runtime.json", compare_runtime),
         ("BENCH_serving.json", compare_serving),
         ("BENCH_cluster.json", compare_cluster),
+        ("BENCH_cache.json", compare_cache),
     )
 
     if args.update:

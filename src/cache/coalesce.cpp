@@ -1,0 +1,43 @@
+#include "cache/coalesce.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace latte {
+
+void InFlightTable::Lead(CacheKey key) {
+  if (key == kNullCacheKey) {
+    throw std::invalid_argument(
+        "InFlightTable::Lead: kNullCacheKey marks an uncacheable request "
+        "and must be filtered by the caller");
+  }
+  const auto [it, inserted] =
+      pending_.emplace(key, std::vector<CoalescedFollower>{});
+  (void)it;
+  if (!inserted) {
+    throw std::logic_error(
+        "InFlightTable::Lead: key already has an in-flight leader (the "
+        "second arrival should have attached as a follower)");
+  }
+}
+
+bool InFlightTable::Attach(CacheKey key, std::size_t offered_id,
+                           double arrival_s, std::size_t length) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return false;
+  it->second.push_back({offered_id, arrival_s, length});
+  return true;
+}
+
+std::vector<CoalescedFollower> InFlightTable::Complete(CacheKey key) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) {
+    throw std::logic_error(
+        "InFlightTable::Complete: key has no in-flight leader");
+  }
+  std::vector<CoalescedFollower> followers = std::move(it->second);
+  pending_.erase(it);
+  return followers;
+}
+
+}  // namespace latte

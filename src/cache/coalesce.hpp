@@ -1,0 +1,56 @@
+#pragma once
+// In-flight request coalescing: concurrent identical requests execute
+// once.
+//
+// When a request misses the result cache, it is admitted as the *leader*
+// for its key; identical requests arriving while the leader's batch has
+// not yet completed in virtual time *attach* as followers instead of
+// entering admission at all.  When the leader's batch completes, every
+// follower completes with it -- one execution, N responses -- and each
+// follower's latency is accounted from its own arrival to the leader's
+// completion, so coalescing never hides queueing delay.
+//
+// The table is engine-local (followers need the leader's output, which
+// lives in the same engine's stream), purely virtual-time driven and
+// deterministic: state is keyed lookups only, no iteration order.
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/key.hpp"
+
+namespace latte {
+
+/// One request served by its key's in-flight leader.
+struct CoalescedFollower {
+  std::size_t offered_id = 0;  ///< the follower's Push() ordinal
+  double arrival_s = 0;
+  std::size_t length = 0;
+};
+
+/// Pending computations by key, with their attached followers.
+class InFlightTable {
+ public:
+  /// Registers an admitted miss as the leader for `key`.  A key can have
+  /// at most one leader at a time (a second identical arrival attaches).
+  void Lead(CacheKey key);
+
+  /// Attaches a request to `key`'s pending computation.  Returns false
+  /// (and records nothing) when no leader is in flight for the key.
+  bool Attach(CacheKey key, std::size_t offered_id, double arrival_s,
+              std::size_t length);
+
+  /// Completes `key`'s computation: removes the pending state and hands
+  /// back the followers (in attach order) for latency accounting.
+  std::vector<CoalescedFollower> Complete(CacheKey key);
+
+  bool pending(CacheKey key) const { return pending_.count(key) != 0; }
+  std::size_t size() const { return pending_.size(); }
+  void Clear() { pending_.clear(); }
+
+ private:
+  std::unordered_map<CacheKey, std::vector<CoalescedFollower>> pending_;
+};
+
+}  // namespace latte

@@ -1,0 +1,103 @@
+#include "cache/eviction.hpp"
+
+#include <stdexcept>
+
+namespace latte {
+
+const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru:
+      return "lru";
+    case EvictionPolicy::kSegmentedLru:
+      return "segmented-lru";
+  }
+  return "unknown";
+}
+
+EvictionOrder::EvictionOrder(EvictionPolicy policy,
+                             std::size_t protected_cap_bytes)
+    : policy_(policy), protected_cap_bytes_(protected_cap_bytes) {}
+
+void EvictionOrder::Insert(CacheKey key, std::size_t bytes) {
+  if (index_.count(key) != 0) {
+    throw std::logic_error(
+        "EvictionOrder::Insert: key is already tracked (use Touch to "
+        "record a reuse)");
+  }
+  probation_.push_back(key);
+  Slot slot;
+  slot.pos = std::prev(probation_.end());
+  slot.segment = Segment::kProbation;
+  slot.bytes = bytes;
+  index_.emplace(key, slot);
+}
+
+void EvictionOrder::Touch(CacheKey key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    throw std::logic_error("EvictionOrder::Touch: key is not tracked");
+  }
+  Slot& slot = it->second;
+  if (policy_ == EvictionPolicy::kLru) {
+    probation_.splice(probation_.end(), probation_, slot.pos);
+    return;
+  }
+  if (slot.segment == Segment::kProtected) {
+    protected_.splice(protected_.end(), protected_, slot.pos);
+    return;
+  }
+  // Promote: the entry has proven reuse, move it out of scan churn.
+  probation_.erase(slot.pos);
+  protected_.push_back(key);
+  slot.pos = std::prev(protected_.end());
+  slot.segment = Segment::kProtected;
+  protected_bytes_ += slot.bytes;
+  DemoteWhileOverCap();
+}
+
+void EvictionOrder::DemoteWhileOverCap() {
+  if (protected_cap_bytes_ == 0) return;
+  // Demote protected-LRU entries to the probation MRU end until the
+  // segment fits; never demote the sole survivor (a protected segment
+  // smaller than one entry would disable SLRU entirely).
+  while (protected_bytes_ > protected_cap_bytes_ && protected_.size() > 1) {
+    const CacheKey demoted = protected_.front();
+    Slot& slot = index_.at(demoted);
+    protected_.pop_front();
+    protected_bytes_ -= slot.bytes;
+    probation_.push_back(demoted);
+    slot.pos = std::prev(probation_.end());
+    slot.segment = Segment::kProbation;
+  }
+}
+
+CacheKey EvictionOrder::Victim() const {
+  if (!probation_.empty()) return probation_.front();
+  if (!protected_.empty()) return protected_.front();
+  throw std::logic_error("EvictionOrder::Victim: no entries to evict");
+}
+
+void EvictionOrder::Remove(CacheKey key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    throw std::logic_error("EvictionOrder::Remove: key is not tracked");
+  }
+  const Slot& slot = it->second;
+  if (slot.segment == Segment::kProtected) {
+    protected_bytes_ -= slot.bytes;
+    protected_.erase(slot.pos);
+  } else {
+    probation_.erase(slot.pos);
+  }
+  index_.erase(it);
+}
+
+std::vector<CacheKey> EvictionOrder::KeysEvictionFirst() const {
+  std::vector<CacheKey> keys;
+  keys.reserve(index_.size());
+  for (CacheKey key : probation_) keys.push_back(key);
+  for (CacheKey key : protected_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace latte

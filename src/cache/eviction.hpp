@@ -1,0 +1,90 @@
+#pragma once
+// Deterministic recency bookkeeping for the result cache.
+//
+// Two policies share one structure of two intrusively-ordered segments:
+//
+//   * kLru           -- every entry lives in the probation segment; a hit
+//                       moves it to the MRU end; the victim is the LRU
+//                       end.  Classic least-recently-used.
+//   * kSegmentedLru  -- frequency-aware SLRU: an insert lands in
+//                       probation, a hit *promotes* to the protected
+//                       segment (capped at a byte share of the cache), and
+//                       capacity pressure evicts probation first.  A burst
+//                       of one-shot keys (a scan) churns probation without
+//                       displacing entries that have proven reuse -- the
+//                       scan resistance plain LRU lacks under skewed
+//                       traffic with a long random tail.
+//
+// Every operation is a deterministic function of the call sequence: order
+// lives in std::list (no hash-iteration order ever decides anything), so
+// a replay produces byte-identical eviction decisions at any thread
+// count.
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/key.hpp"
+
+namespace latte {
+
+/// How the result cache picks victims under capacity pressure.
+enum class EvictionPolicy {
+  kLru,           ///< least-recently-used
+  kSegmentedLru,  ///< SLRU: probation + protected segments
+};
+
+/// Human-readable policy name (bench/report labels).
+const char* EvictionPolicyName(EvictionPolicy policy);
+
+/// Recency order over cache keys for one policy instance.
+class EvictionOrder {
+ public:
+  /// `protected_cap_bytes` bounds the SLRU protected segment (0 =
+  /// unbounded); ignored by plain LRU.
+  EvictionOrder(EvictionPolicy policy, std::size_t protected_cap_bytes);
+
+  /// Registers a new key at the probation MRU end.  The key must not be
+  /// tracked already.
+  void Insert(CacheKey key, std::size_t bytes);
+
+  /// Records a use.  LRU: move to MRU.  SLRU: promote to protected (or
+  /// refresh within protected), demoting protected-LRU entries back to
+  /// probation while the segment exceeds its byte cap.
+  void Touch(CacheKey key);
+
+  /// The next victim under capacity pressure: probation LRU first, then
+  /// protected LRU.  Requires a non-empty order.
+  CacheKey Victim() const;
+
+  /// Forgets a key (evicted, expired or invalidated).
+  void Remove(CacheKey key);
+
+  /// Keys from most-evictable to least (probation LRU -> MRU, then
+  /// protected LRU -> MRU): the deterministic sweep order for TTL expiry.
+  std::vector<CacheKey> KeysEvictionFirst() const;
+
+  std::size_t size() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+  std::size_t protected_bytes() const { return protected_bytes_; }
+
+ private:
+  enum class Segment { kProbation, kProtected };
+  struct Slot {
+    std::list<CacheKey>::iterator pos;
+    Segment segment = Segment::kProbation;
+    std::size_t bytes = 0;
+  };
+
+  void DemoteWhileOverCap();
+
+  EvictionPolicy policy_;
+  std::size_t protected_cap_bytes_;
+  std::list<CacheKey> probation_;   ///< front = LRU, back = MRU
+  std::list<CacheKey> protected_;   ///< front = LRU, back = MRU
+  std::size_t protected_bytes_ = 0;
+  std::unordered_map<CacheKey, Slot> index_;
+};
+
+}  // namespace latte

@@ -1,0 +1,44 @@
+#include "cache/key.hpp"
+
+namespace latte {
+namespace {
+
+// A zero key is the "no key" sentinel; fold real digests away from it.
+CacheKey NonNull(std::uint64_t h) { return h == kNullCacheKey ? 1 : h; }
+
+}  // namespace
+
+const char* CacheKeyPolicyName(CacheKeyPolicy policy) {
+  switch (policy) {
+    case CacheKeyPolicy::kRequestId:
+      return "request-id";
+    case CacheKeyPolicy::kEmbeddingHash:
+      return "embedding-hash";
+  }
+  return "unknown";
+}
+
+std::uint64_t HashBytes(const void* data, std::size_t size,
+                        std::uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;  // FNV-1a 64 prime
+  }
+  return h;
+}
+
+CacheKey RequestIdKey(std::uint64_t id, std::size_t length) {
+  return NonNull(MixHash64(id ^ MixHash64(static_cast<std::uint64_t>(length))));
+}
+
+CacheKey EmbeddingKey(const MatrixF& embedding, std::size_t length) {
+  constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+  std::uint64_t h = HashBytes(embedding.flat().data(),
+                              embedding.flat().size_bytes(), kFnvOffset);
+  h = HashBytes(&length, sizeof(length), h);
+  return NonNull(MixHash64(h));
+}
+
+}  // namespace latte

@@ -1,0 +1,61 @@
+#pragma once
+// Cache keys: a request's content identity folded into 64 bits.
+//
+// The result cache serves a repeat only when the new request's *content*
+// is byte-identical to the one that produced the cached entry, so a key
+// must be a pure function of content.  Two key policies cover the two
+// ways content enters the system:
+//
+//   * kRequestId      -- requests carry an explicit identity (the Zipf
+//                        popularity generator's id field): key = mix(id,
+//                        length).  Works without tensors, so it is the
+//                        policy accounting-only sweeps use.
+//   * kEmbeddingHash  -- content-addressed: key = FNV-1a over the raw
+//                        float bytes of the input embedding (plus the
+//                        length).  Works for caller-provided tensors;
+//                        requests with neither a tensor at Push time nor
+//                        an id fall back to the id path or are bypassed.
+//
+// Keys must be identical across platforms for replays to be
+// byte-identical, so hashing is over exact IEEE-754 storage bytes with a
+// fixed-constant mixer -- no std::hash, whose value is
+// implementation-defined.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"  // MixHash64, the shared integer mixer
+
+namespace latte {
+
+/// 64-bit content identity of a request.  kNullCacheKey means "no key"
+/// (the request is not cacheable under the configured policy); real hash
+/// values are folded away from it.
+using CacheKey = std::uint64_t;
+inline constexpr CacheKey kNullCacheKey = 0;
+
+/// How the cache derives a key from a request.
+enum class CacheKeyPolicy {
+  kRequestId,      ///< mix of TimedRequest::id and length (tensor-free)
+  kEmbeddingHash,  ///< FNV-1a over the input embedding bytes + length
+};
+
+/// Human-readable policy name (bench/report labels).
+const char* CacheKeyPolicyName(CacheKeyPolicy policy);
+
+/// FNV-1a 64 over a raw byte range, continued from `seed` (use the
+/// previous digest to chain fields).  Deterministic across platforms.
+std::uint64_t HashBytes(const void* data, std::size_t size,
+                        std::uint64_t seed);
+
+/// Key for an id-carrying request (kRequestId policy).  Folds the length
+/// in so an id can never alias across lengths (same id must mean same
+/// content, and content determines length).
+CacheKey RequestIdKey(std::uint64_t id, std::size_t length);
+
+/// Content-addressed key for a request with a materialized input
+/// embedding (kEmbeddingHash policy).
+CacheKey EmbeddingKey(const MatrixF& embedding, std::size_t length);
+
+}  // namespace latte

@@ -1,0 +1,37 @@
+#include "cache/stats.hpp"
+
+namespace latte {
+
+double CacheHitRate(const CacheStats& stats) {
+  if (stats.lookups == 0) return 0;
+  return static_cast<double>(stats.hits + stats.coalesced) /
+         static_cast<double>(stats.lookups);
+}
+
+CacheStats AccumulateEngineCacheStats(const CacheStats& a,
+                                      const CacheStats& b) {
+  CacheStats sum;
+  sum.lookups = a.lookups + b.lookups;
+  sum.hits = a.hits + b.hits;
+  sum.coalesced = a.coalesced + b.coalesced;
+  sum.misses = a.misses + b.misses;
+  sum.bypassed = a.bypassed + b.bypassed;
+  return sum;
+}
+
+CacheStoreStats AccumulateStoreStats(const CacheStoreStats& a,
+                                     const CacheStoreStats& b) {
+  CacheStoreStats sum;
+  sum.insertions = a.insertions + b.insertions;
+  sum.refreshes = a.refreshes + b.refreshes;
+  sum.evictions = a.evictions + b.evictions;
+  sum.expirations = a.expirations + b.expirations;
+  sum.rejected_too_large = a.rejected_too_large + b.rejected_too_large;
+  sum.invalidations = a.invalidations + b.invalidations;
+  sum.entries = a.entries + b.entries;
+  sum.bytes_used = a.bytes_used + b.bytes_used;
+  sum.peak_bytes = a.peak_bytes + b.peak_bytes;
+  return sum;
+}
+
+}  // namespace latte

@@ -1,0 +1,58 @@
+#pragma once
+// Cache accounting, split along the ownership line:
+//
+//   * CacheStoreStats belongs to one ResultCache and is cumulative over
+//     its lifetime (a store can outlive many serving streams, and in the
+//     cluster's shared mode it is owned once and referenced by every
+//     replica -- summing per-replica snapshots of a shared store would
+//     double count, so the fleet report takes the store's numbers once).
+//   * CacheStats is what one engine reports for one drained stream: the
+//     per-stream lookup outcomes (hit / coalesced / miss are disjoint;
+//     lookups = hits + coalesced + misses), plus a snapshot of the
+//     backing store taken at Drain().
+
+#include <cstddef>
+
+namespace latte {
+
+/// Lifetime-cumulative counters of one ResultCache.
+struct CacheStoreStats {
+  std::size_t insertions = 0;   ///< new entries created
+  std::size_t refreshes = 0;    ///< re-insert of a live key (TTL re-anchor)
+  std::size_t evictions = 0;    ///< removed under capacity pressure
+  std::size_t expirations = 0;  ///< removed by TTL in virtual time
+  std::size_t rejected_too_large = 0;  ///< entry alone exceeds capacity
+  std::size_t invalidations = 0;       ///< entries dropped by Clear()
+  std::size_t entries = 0;             ///< currently live entries
+  std::size_t bytes_used = 0;          ///< currently accounted bytes
+  std::size_t peak_bytes = 0;          ///< high-water mark of bytes_used
+};
+
+/// One engine's cache accounting for one drained stream.
+struct CacheStats {
+  std::size_t lookups = 0;    ///< cacheable requests offered
+  std::size_t hits = 0;       ///< served from a live entry
+  std::size_t coalesced = 0;  ///< attached as follower to an in-flight leader
+  /// Fell through to admission as a prospective leader (the deduplicated
+  /// work; a bounded queue may still reject it there).
+  std::size_t misses = 0;
+  std::size_t bypassed = 0;   ///< not cacheable under the key policy
+  CacheStoreStats store;      ///< backing-store snapshot at Drain()
+};
+
+/// Served-from-cache share of the cacheable traffic:
+/// (hits + coalesced) / lookups, 0 when nothing was looked up.
+double CacheHitRate(const CacheStats& stats);
+
+/// Element-wise sum of the engine-side (per-stream) counters; `store` is
+/// left zeroed -- the caller decides whether store snapshots may be summed
+/// (per-replica stores) or must be taken once (a shared store).
+CacheStats AccumulateEngineCacheStats(const CacheStats& a,
+                                      const CacheStats& b);
+
+/// Element-wise sum of two store snapshots (only valid across *distinct*
+/// stores; peak_bytes sums as an upper bound).
+CacheStoreStats AccumulateStoreStats(const CacheStoreStats& a,
+                                     const CacheStoreStats& b);
+
+}  // namespace latte

@@ -33,6 +33,11 @@ ClusterReport BuildClusterReport(const std::vector<ReplicaDrainView>& fleet) {
   double first_arrival = 0;
   double last_done = 0;
   bool any_batch = false;
+  // Store counters keyed by store identity: a fleet-shared store is
+  // counted once (its last drain-time snapshot is the final state), and
+  // views without a store pointer fall back to summing their snapshots.
+  std::vector<std::pair<const ResultCache*, CacheStoreStats>> store_last;
+  CacheStoreStats anonymous_stores;
   std::size_t total_batches = 0;
   std::size_t total_workers = 0;
   double fill_weighted = 0;  // sum over batches of per-batch fill
@@ -50,6 +55,7 @@ ClusterReport BuildClusterReport(const std::vector<ReplicaDrainView>& fleet) {
     acc.name = view.name;
     acc.online = view.online;
     acc.admission = res.admission;
+    acc.cache = res.cache;
     acc.report = res.report();
     acc.requests = res.offered_ids.size();
     total_workers += view.workers;
@@ -82,6 +88,33 @@ ClusterReport BuildClusterReport(const std::vector<ReplicaDrainView>& fleet) {
       fill_weighted += fill;
       acc.busy_s += res.schedule.service_s[b];
     }
+    // Cache-served requests (hits and coalesced followers) completed
+    // without a batch; they still count toward the fleet's latency pool
+    // and span -- the caller saw them served.
+    for (const CacheServedRequest& served : res.cache_served) {
+      latencies.push_back(served.done_s - served.arrival_s);
+      if (!any_batch || served.arrival_s < first_arrival) {
+        first_arrival = served.arrival_s;
+      }
+      any_batch = true;
+      last_done = std::max(last_done, served.done_s);
+    }
+    cluster.cache = AccumulateEngineCacheStats(cluster.cache, res.cache);
+    if (view.cache_store == nullptr) {
+      anonymous_stores = AccumulateStoreStats(anonymous_stores,
+                                              res.cache.store);
+    } else {
+      bool found = false;
+      for (auto& [store, snapshot] : store_last) {
+        if (store == view.cache_store) {
+          snapshot = res.cache.store;  // a later view: fresher snapshot
+          found = true;
+          break;
+        }
+      }
+      if (!found) store_last.push_back({view.cache_store, res.cache.store});
+    }
+
     busy_s += acc.busy_s;
     total_batches += res.batches.size();
     acc.mean_batch_fill = res.batches.empty()
@@ -94,6 +127,10 @@ ClusterReport BuildClusterReport(const std::vector<ReplicaDrainView>& fleet) {
     cluster.replicas.push_back(std::move(acc));
   }
 
+  cluster.cache.store = anonymous_stores;
+  for (const auto& [store, snapshot] : store_last) {
+    cluster.cache.store = AccumulateStoreStats(cluster.cache.store, snapshot);
+  }
   const double span = any_batch ? last_done - first_arrival : 0;
   cluster.fleet = BuildServingReport(latencies, total_batches, busy_s, span,
                                      total_workers == 0 ? 1 : total_workers);

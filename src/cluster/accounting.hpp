@@ -23,6 +23,7 @@ struct ReplicaAccounting {
   std::string name;
   ServingReport report;      ///< the replica's own virtual-time report
   AdmissionStats admission;  ///< offers the router sent to this replica
+  CacheStats cache;          ///< this replica's cache outcomes + store view
   bool online = true;        ///< still in rotation when the stream drained
   std::size_t requests = 0;  ///< admitted requests
   std::size_t tokens = 0;    ///< admitted tokens
@@ -35,7 +36,14 @@ struct ReplicaAccounting {
 
 /// Fleet-level view of one drained cluster stream.
 struct ClusterReport {
-  ServingReport fleet;  ///< pooled per-request latencies, fleet span/busy
+  /// Pooled per-request latencies (admitted requests *and* cache-served
+  /// ones: hits and coalesced followers contribute their virtual
+  /// completions), fleet span/busy.
+  ServingReport fleet;
+  /// Engine-side cache outcomes summed across replicas; `cache.store`
+  /// sums the snapshots of the *distinct* stores behind the fleet (one
+  /// fleet-shared store counts once, not once per replica).
+  CacheStats cache;
   std::vector<ReplicaAccounting> replicas;
   /// max/mean of admitted requests (resp. tokens) across replicas; 1.0 is
   /// perfect balance, R is everything-on-one-replica for R replicas.
@@ -54,6 +62,11 @@ struct ReplicaDrainView {
   /// (what ServingResult::offered_ids points into).
   const std::vector<TimedRequest>* offers = nullptr;
   const ServingResult* result = nullptr;
+  /// Identity of the replica's cache store (nullptr = none).  Views
+  /// naming the same store (the cluster's shared mode) contribute its
+  /// counters once -- from the last view, whose drain-time snapshot is
+  /// the store's final state -- instead of once per replica.
+  const ResultCache* cache_store = nullptr;
 };
 
 /// Merges drained replicas into a ClusterReport.  Deterministic: pure

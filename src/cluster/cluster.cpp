@@ -1,5 +1,6 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -13,6 +14,18 @@ ClusterConfig Validated(const ClusterConfig& cfg) {
 
 }  // namespace
 
+const char* ClusterCacheModeName(ClusterCacheMode mode) {
+  switch (mode) {
+    case ClusterCacheMode::kNone:
+      return "none";
+    case ClusterCacheMode::kPerReplica:
+      return "per-replica";
+    case ClusterCacheMode::kShared:
+      return "shared";
+  }
+  return "unknown";
+}
+
 void ValidateClusterConfig(const ClusterConfig& cfg) {
   if (cfg.replicas.empty()) {
     throw std::invalid_argument(
@@ -21,6 +34,24 @@ void ValidateClusterConfig(const ClusterConfig& cfg) {
   }
   for (std::size_t i = 0; i < cfg.replicas.size(); ++i) {
     ValidateReplicaConfig(cfg.replicas[i], i);
+  }
+  if (cfg.cache.mode != ClusterCacheMode::kNone) {
+    try {
+      ValidateResultCacheConfig(cfg.cache.config);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("ClusterConfig: cache." +
+                                  std::string(e.what()));
+    }
+    for (std::size_t i = 0; i < cfg.replicas.size(); ++i) {
+      if (cfg.replicas[i].engine.cache.enabled) {
+        throw std::invalid_argument(
+            "ClusterConfig: replica[" + std::to_string(i) +
+            "].engine.cache.enabled conflicts with the cluster-managed "
+            "cache (mode " +
+            std::string(ClusterCacheModeName(cfg.cache.mode)) +
+            "); configure one or the other");
+      }
+    }
   }
   const bool execute = cfg.replicas.front().engine.execute;
   for (std::size_t i = 1; i < cfg.replicas.size(); ++i) {
@@ -41,9 +72,21 @@ ServingCluster::ServingCluster(const ModelInstance& model,
       cfg_(Validated(cfg)),
       execute_(cfg_.replicas.front().engine.execute),
       router_(cfg_.router, cfg_.replicas.size()) {
+  if (cfg_.cache.mode != ClusterCacheMode::kNone) {
+    // The cluster owns the cache decision: stamp the store parameters
+    // into every replica's engine config (key policy, hit latency) and,
+    // in shared mode, build the one fleet store they will all reference.
+    ResultCacheConfig store_cfg = cfg_.cache.config;
+    store_cfg.enabled = true;
+    for (ReplicaConfig& rep : cfg_.replicas) rep.engine.cache = store_cfg;
+    if (cfg_.cache.mode == ClusterCacheMode::kShared) {
+      shared_cache_ = std::make_shared<ResultCache>(store_cfg);
+    }
+  }
   replicas_.reserve(cfg_.replicas.size());
   for (std::size_t i = 0; i < cfg_.replicas.size(); ++i) {
-    replicas_.push_back(std::make_unique<Replica>(model_, cfg_.replicas[i], i));
+    replicas_.push_back(
+        std::make_unique<Replica>(model_, cfg_.replicas[i], i, shared_cache_));
   }
   offers_.resize(replicas_.size());
   offer_global_.resize(replicas_.size());
@@ -99,7 +142,13 @@ bool ServingCluster::PushImpl(const TimedRequest& request, MatrixF input,
   for (std::size_t rank = 0; rank < ranked.size(); ++rank) {
     const std::size_t idx = ranked[rank];
     const ReplicaSnapshot& snap = fleet[idx];
-    if (snap.queue_capacity > 0 && snap.queue_depth >= snap.queue_capacity) {
+    // A request this replica's cache would serve (hit) or fold onto an
+    // in-flight identical one (coalesce) bypasses the waiting room
+    // entirely, so a full queue is no reason to skip it.  The cache
+    // probes are only paid once the queue is actually full.
+    if (snap.queue_capacity > 0 && snap.queue_depth >= snap.queue_capacity &&
+        !replicas_[idx]->WouldHitCache(request, request.arrival_s) &&
+        !replicas_[idx]->WouldCoalesce(request)) {
       continue;
     }
     const bool accepted =
@@ -107,9 +156,15 @@ bool ServingCluster::PushImpl(const TimedRequest& request, MatrixF input,
             ? replicas_[idx]->Offer(
                   request,
                   has_input ? std::move(input)
-                            : SynthesizeRequestEmbedding(
-                                  cfg_.embed_seed, ordinal, request.length,
-                                  model_.config().encoder.hidden))
+                            : request.id != kAnonymousId
+                                  ? SynthesizeIdentityEmbedding(
+                                        cfg_.embed_seed, request.id,
+                                        request.length,
+                                        model_.config().encoder.hidden)
+                                  : SynthesizeRequestEmbedding(
+                                        cfg_.embed_seed, ordinal,
+                                        request.length,
+                                        model_.config().encoder.hidden))
             : replicas_[idx]->Offer(request);
     if (!accepted) {
       // The snapshot said there was room; the engine disagreeing means the
@@ -138,7 +193,9 @@ ClusterResult ServingCluster::Drain() {
   result.replica_results.reserve(replicas_.size());
   for (auto& r : replicas_) result.replica_results.push_back(r->Drain());
 
-  // Map per-replica outputs back to cluster Push() ordinals.
+  // Map per-replica outputs back to cluster Push() ordinals: admitted
+  // requests by their offered id, cache-served ones (hits and coalesced
+  // followers) from the copies the engines wired up at drain.
   if (execute_) {
     result.outputs.resize(result.routing.offered);
     for (std::size_t r = 0; r < replicas_.size(); ++r) {
@@ -146,6 +203,10 @@ ClusterResult ServingCluster::Drain() {
       for (std::size_t i = 0; i < res.outputs.size(); ++i) {
         const std::size_t global = offer_global_[r][res.offered_ids[i]];
         result.outputs[global] = std::move(res.outputs[i]);
+      }
+      for (CacheServedRequest& served : res.cache_served) {
+        const std::size_t global = offer_global_[r][served.offered_id];
+        result.outputs[global] = std::move(served.output);
       }
     }
   }
@@ -159,9 +220,19 @@ ClusterResult ServingCluster::Drain() {
     view.workers = replicas_[r]->engine_config().workers;
     view.offers = &offers_[r];
     view.result = &result.replica_results[r];
+    view.cache_store = replicas_[r]->engine().cache().get();
     views.push_back(view);
   }
   result.report = BuildClusterReport(views);
+
+  // Align every replica's cache clock to the fleet max so the next
+  // stream ages all stores -- and above all a shared one -- on one
+  // coherent timeline.
+  double epoch = 0;
+  for (auto& r : replicas_) {
+    epoch = std::max(epoch, r->engine().cache_epoch());
+  }
+  for (auto& r : replicas_) r->engine().AlignCacheEpoch(epoch);
 
   ResetStream();
   return result;
@@ -180,6 +251,14 @@ void ServingCluster::SetOnline(std::size_t replica, bool online) {
         std::to_string(replicas_.size()) + " replicas)");
   }
   replicas_[replica]->set_online(online);
+  // Per-replica cache hygiene: an offline replica's private entries no
+  // longer represent fleet state (key-affinity remaps its keys to the
+  // survivors, which will recompute) -- drop them so a later return to
+  // rotation cannot serve stale results.  The shared store is fleet
+  // property and survives.
+  if (!online && cfg_.cache.mode == ClusterCacheMode::kPerReplica) {
+    replicas_[replica]->InvalidateOwnedCache();
+  }
 }
 
 void ServingCluster::ResetStream() {

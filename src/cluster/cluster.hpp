@@ -32,13 +32,43 @@
 
 namespace latte {
 
+/// Where the fleet's result cache lives.
+enum class ClusterCacheMode {
+  kNone,  ///< no cluster-managed cache (replicas may still bring their own)
+  /// Every replica owns a private store built from the same config.
+  /// Failover invalidates the offline replica's entries (they no longer
+  /// represent fleet state); pair with key-affinity routing so repeats
+  /// find the replica that owns their entry.
+  kPerReplica,
+  /// One fleet-shared store referenced by every replica: a result
+  /// computed anywhere serves repeats routed anywhere, and a replica
+  /// going offline loses nothing (its entries belong to the fleet).
+  kShared,
+};
+
+/// Human-readable mode name (bench/report labels).
+const char* ClusterCacheModeName(ClusterCacheMode mode);
+
+/// Fleet-front result cache knobs.
+struct ClusterCacheConfig {
+  ClusterCacheMode mode = ClusterCacheMode::kNone;
+  /// Store parameters (capacity is per store: the shared mode has one
+  /// budget for the fleet, per-replica mode one per replica).  The
+  /// `enabled` flag is implied by `mode` and ignored here.
+  ResultCacheConfig config;
+};
+
 /// Whole-fleet configuration.
 struct ClusterConfig {
   std::vector<ReplicaConfig> replicas;
   RouterConfig router;
   /// Seed for embeddings synthesized at cluster level; request identity is
-  /// the cluster Push() ordinal, so outputs are independent of routing.
+  /// the cluster Push() ordinal -- or the content id when the request
+  /// carries one -- so outputs are independent of routing.
   std::uint64_t embed_seed = 1;
+  /// Fleet-front result cache (kNone leaves caching to the per-replica
+  /// engine configs, which must not set one when a mode is chosen here).
+  ClusterCacheConfig cache;
 };
 
 /// Throws std::invalid_argument naming the offending field (replica
@@ -95,8 +125,17 @@ class ServingCluster {
   ClusterResult Replay(const std::vector<TimedRequest>& trace);
 
   /// Drain/failover control: an offline replica leaves the routing
-  /// rotation but keeps and executes what it already admitted.
+  /// rotation but keeps and executes what it already admitted.  In
+  /// per-replica cache mode, going offline also invalidates the
+  /// replica's private store (its entries no longer represent fleet
+  /// state); in shared mode the fleet store is untouched, so a warm
+  /// cache survives the failover.
   void SetOnline(std::size_t replica, bool online);
+
+  /// The fleet-shared store (null outside kShared mode).
+  const std::shared_ptr<ResultCache>& shared_cache() const {
+    return shared_cache_;
+  }
 
   std::size_t replica_count() const { return replicas_.size(); }
   const Replica& replica(std::size_t i) const { return *replicas_[i]; }
@@ -110,6 +149,7 @@ class ServingCluster {
   ClusterConfig cfg_;
   bool execute_ = true;  ///< uniform across replicas (validated)
   Router router_;
+  std::shared_ptr<ResultCache> shared_cache_;  ///< kShared mode only
   /// unique_ptr because a Replica owns a ServingEngine (whose BatchRunner
   /// is neither copyable nor movable).
   std::vector<std::unique_ptr<Replica>> replicas_;

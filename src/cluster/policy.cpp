@@ -50,6 +50,8 @@ const char* RouterPolicyName(RouterPolicy policy) {
       return "least-outstanding-tokens";
     case RouterPolicy::kLengthBucketed:
       return "length-bucketed";
+    case RouterPolicy::kKeyAffinity:
+      return "key-affinity";
   }
   return "unknown";
 }
@@ -59,6 +61,7 @@ void ValidateRouterConfig(const RouterConfig& cfg, std::size_t replicas) {
     case RouterPolicy::kRoundRobin:
     case RouterPolicy::kJoinShortestQueue:
     case RouterPolicy::kLeastOutstandingTokens:
+    case RouterPolicy::kKeyAffinity:
       break;
     case RouterPolicy::kLengthBucketed: {
       if (cfg.length_edges.empty()) {
@@ -98,6 +101,11 @@ Router::Router(const RouterConfig& cfg, std::size_t replicas)
   ValidateRouterConfig(cfg_, replicas);
 }
 
+std::uint64_t RendezvousScore(std::uint64_t id, std::size_t replica) {
+  return MixHash64(id ^ MixHash64(0x517cc1b727220a95ULL *
+                                  (static_cast<std::uint64_t>(replica) + 1)));
+}
+
 std::size_t Router::BucketOf(std::size_t length) const {
   const auto it = std::lower_bound(cfg_.length_edges.begin(),
                                    cfg_.length_edges.end(), length);
@@ -127,6 +135,31 @@ std::vector<std::size_t> Router::Rank(
       });
     case RouterPolicy::kLengthBucketed:
       return RotationFrom(BucketOf(request.length) % replica_count_, fleet);
+    case RouterPolicy::kKeyAffinity: {
+      if (request.id == kAnonymousId) {
+        // No content identity to pin on: spread like round-robin (and
+        // advance the same cursor, so mixed traffic still rotates).
+        const std::size_t start = cursor_ % replica_count_;
+        ++cursor_;
+        return RotationFrom(start, fleet);
+      }
+      // Rendezvous (highest-random-weight): every (key, replica) pair
+      // gets a deterministic score and replicas rank by descending
+      // score.  Removing a replica never reorders the survivors, so a
+      // failover only remaps the keys the lost replica owned.
+      std::vector<std::size_t> ranked;
+      ranked.reserve(fleet.size());
+      for (std::size_t idx = 0; idx < fleet.size(); ++idx) {
+        if (fleet[idx].online) ranked.push_back(idx);
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const std::uint64_t ka = RendezvousScore(request.id, a);
+                  const std::uint64_t kb = RendezvousScore(request.id, b);
+                  return ka != kb ? ka > kb : a < b;
+                });
+      return ranked;
+    }
   }
   return {};
 }

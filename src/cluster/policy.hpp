@@ -29,10 +29,22 @@ enum class RouterPolicy {
   /// similar lengths and batch density stays high (less padding waste on
   /// padded backends, fuller token budgets on length-aware ones).
   kLengthBucketed,
+  /// Cache-aware routing: requests sharing a content identity rank
+  /// replicas by rendezvous (highest-random-weight) hashing of the id,
+  /// so repeats land on the replica whose cache owns the entry -- and a
+  /// replica going offline only remaps the keys it owned, never the
+  /// survivors' (the warm-cache failover property).  Anonymous requests
+  /// fall back to the round-robin rotation.
+  kKeyAffinity,
 };
 
 /// Human-readable policy name (bench/report labels).
 const char* RouterPolicyName(RouterPolicy policy);
+
+/// The rendezvous weight of (content id, replica) under kKeyAffinity:
+/// the online replica with the highest score owns the key.  Exposed so
+/// tests can predict placements.
+std::uint64_t RendezvousScore(std::uint64_t id, std::size_t replica);
 
 /// Router knobs.
 struct RouterConfig {

@@ -1,6 +1,7 @@
 #include "cluster/replica.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace latte {
 
@@ -28,10 +29,10 @@ ReplicaConfig Validated(const ReplicaConfig& cfg, std::size_t index) {
 }  // namespace
 
 Replica::Replica(const ModelInstance& model, const ReplicaConfig& cfg,
-                 std::size_t index)
+                 std::size_t index, std::shared_ptr<ResultCache> shared_cache)
     : cfg_(Validated(cfg, index)),
       name_(cfg.name.empty() ? "replica-" + std::to_string(index) : cfg.name),
-      engine_(model, cfg_.engine) {}
+      engine_(model, cfg_.engine, std::move(shared_cache)) {}
 
 ReplicaSnapshot Replica::SnapshotAt(double now) {
   engine_.AdvanceTo(now);

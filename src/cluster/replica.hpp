@@ -9,6 +9,7 @@
 // independent: heterogeneous fleets just give each replica its own
 // ServingEngineConfig (e.g. a slower service model or fewer workers).
 
+#include <memory>
 #include <string>
 
 #include "cluster/policy.hpp"
@@ -30,9 +31,13 @@ void ValidateReplicaConfig(const ReplicaConfig& cfg, std::size_t index);
 class Replica {
  public:
   /// The model must outlive the replica (engines share it by reference;
-  /// Forward() is const and thread-compatible).
+  /// Forward() is const and thread-compatible).  `shared_cache` wires the
+  /// engine to a fleet-shared result store (the cluster's kShared cache
+  /// mode); null leaves the engine to its own config (private cache or
+  /// none).
   Replica(const ModelInstance& model, const ReplicaConfig& cfg,
-          std::size_t index);
+          std::size_t index,
+          std::shared_ptr<ResultCache> shared_cache = nullptr);
 
   /// Offers a request (with or without a caller-provided embedding).
   /// Returns false when the replica's bounded queue rejects it.
@@ -54,6 +59,27 @@ class Replica {
   /// but keeps (and eventually executes) what it already admitted.
   void set_online(bool online) { online_ = online; }
   bool online() const { return online_; }
+
+  /// Whether a request offered at `now` would be served from this
+  /// replica's cache (routers use this to bypass the queue-full skip:
+  /// hits do not occupy the waiting room).
+  bool WouldHitCache(const TimedRequest& request, double now) const {
+    return engine_.WouldHitCache(request, now);
+  }
+
+  /// Whether the request would coalesce onto an in-flight identical one.
+  bool WouldCoalesce(const TimedRequest& request) const {
+    return engine_.WouldCoalesce(request);
+  }
+
+  /// Failover hygiene: drops a replica-*owned* cache (its entries no
+  /// longer represent fleet state once the replica leaves rotation); a
+  /// fleet-shared store is untouched.
+  void InvalidateOwnedCache() { engine_.InvalidateOwnedCache(); }
+
+  /// The engine underneath, for cache/epoch introspection.
+  const ServingEngine& engine() const { return engine_; }
+  ServingEngine& engine() { return engine_; }
 
   const std::string& name() const { return name_; }
   const ServingEngineConfig& engine_config() const { return cfg_.engine; }

@@ -5,12 +5,18 @@
 // operator (core), the transformer reference implementation (nn), the
 // scheduling algorithms (sched), the FPGA simulator (fpga), the baseline
 // platform models (platform), the batched execution runtime (runtime),
-// the streaming serving engine (serve), the multi-replica serving cluster
+// the streaming serving engine (serve), the request-result cache with
+// in-flight coalescing (cache), the multi-replica serving cluster
 // (cluster), the workload generators (workload) and the evaluation
 // metrics (metrics).
 //
 // See README.md for a quickstart and DESIGN.md for the architecture.
 
+#include "cache/coalesce.hpp"
+#include "cache/eviction.hpp"
+#include "cache/key.hpp"
+#include "cache/stats.hpp"
+#include "cache/store.hpp"
 #include "cluster/accounting.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/policy.hpp"

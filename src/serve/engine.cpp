@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -21,6 +22,15 @@ MatrixF SynthesizeRequestEmbedding(std::uint64_t base_seed,
   return MakeInputEmbedding(rng, length, hidden);
 }
 
+MatrixF SynthesizeIdentityEmbedding(std::uint64_t base_seed, std::uint64_t id,
+                                    std::size_t length, std::size_t hidden) {
+  // A different mixing shape than the ordinal path (the id is folded
+  // through MixHash64 first), so an id can never collide with an ordinal
+  // seed and produce accidentally-shared content across the two schemes.
+  Rng rng(base_seed ^ MixHash64(id ^ 0x5851f42d4c957f2dULL));
+  return MakeInputEmbedding(rng, length, hidden);
+}
+
 void ValidateServingEngineConfig(const ServingEngineConfig& cfg) {
   ValidateBatchFormerConfig(cfg.former);
   if (cfg.workers == 0) {
@@ -35,16 +45,37 @@ void ValidateServingEngineConfig(const ServingEngineConfig& cfg) {
         "ServingEngineConfig: inference.sparse.top_k must be >= 1 for the "
         "sparse execution modes (0 selects no attention candidates)");
   }
+  if (cfg.cache.enabled) {
+    try {
+      ValidateResultCacheConfig(cfg.cache);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("ServingEngineConfig: " +
+                                  std::string(e.what()));
+    }
+  }
 }
 
 ServingEngine::ServingEngine(const ModelInstance& model,
-                             const ServingEngineConfig& cfg)
+                             const ServingEngineConfig& cfg,
+                             std::shared_ptr<ResultCache> shared_cache)
     : model_(model), cfg_(cfg), runner_(cfg.threads) {
   ValidateServingEngineConfig(cfg_);
   if (!cfg_.service) {
     // ~0.5 M tokens/s plus a fixed dispatch cost: a plausible host-side
     // default; pass AcceleratorServiceModel to account like the simulator.
     cfg_.service = TokenLinearServiceModel(2e-6, 2e-4);
+  }
+  if (shared_cache != nullptr) {
+    if (!cfg_.cache.enabled) {
+      throw std::invalid_argument(
+          "ServingEngine: a shared cache store was supplied but cfg.cache "
+          "is disabled (enable it to define the key policy and hit "
+          "latency)");
+    }
+    cache_ = std::move(shared_cache);
+    cache_shared_ = true;
+  } else if (cfg_.cache.enabled) {
+    cache_ = std::make_shared<ResultCache>(cfg_.cache);
   }
   worker_free_.assign(cfg_.workers, 0.0);
 }
@@ -65,6 +96,26 @@ bool ServingEngine::Push(const TimedRequest& request, MatrixF input) {
   return PushImpl(request, std::move(input));
 }
 
+CacheKey ServingEngine::KeyFor(const TimedRequest& request,
+                               const MatrixF& input) const {
+  switch (cfg_.cache.key_policy) {
+    case CacheKeyPolicy::kRequestId:
+      return request.id == kAnonymousId
+                 ? kNullCacheKey
+                 : RequestIdKey(request.id, request.length);
+    case CacheKeyPolicy::kEmbeddingHash:
+      // Content-address the tensor when it is in hand; id-carrying
+      // requests without one are keyed by identity (their content is a
+      // pure function of it); anonymous tensor-less requests have no
+      // derivable content and bypass the cache.
+      if (!input.empty()) return EmbeddingKey(input, request.length);
+      return request.id == kAnonymousId
+                 ? kNullCacheKey
+                 : RequestIdKey(request.id, request.length);
+  }
+  return kNullCacheKey;
+}
+
 bool ServingEngine::PushImpl(const TimedRequest& request, MatrixF input) {
   if (admission_.offered > 0 && request.arrival_s < last_arrival_) {
     throw std::invalid_argument(
@@ -76,6 +127,48 @@ bool ServingEngine::PushImpl(const TimedRequest& request, MatrixF input) {
   last_arrival_ = request.arrival_s;
 
   AdvanceTo(request.arrival_s);
+
+  CacheKey key = kNullCacheKey;
+  if (cache_ != nullptr) {
+    key = KeyFor(request, input);
+    if (key == kNullCacheKey) {
+      ++cache_stats_.bypassed;
+    } else {
+      ++cache_stats_.lookups;
+      const double now = cache_epoch_ + request.arrival_s;
+      const CacheEntry* entry = cache_->Lookup(key, now);
+      // An entry still owing its tensor to *another* engine (shared
+      // store, cross-replica) cannot serve a functional hit: the value
+      // does not exist anywhere yet.  Accounting-only mode has no
+      // tensors to hand over, so the entry's visibility alone suffices.
+      const bool usable =
+          entry != nullptr && !(cfg_.execute && entry->pending() &&
+                                entry->producer_owner != this);
+      if (usable) {
+        ++cache_stats_.hits;
+        CacheServedRequest served;
+        served.offered_id = ordinal;
+        served.arrival_s = request.arrival_s;
+        served.done_s = request.arrival_s + cfg_.cache.hit_latency_s;
+        served.length = request.length;
+        if (entry->pending()) {
+          if (entry->producer_owner == this) {
+            served.leader_admitted = entry->pending_producer;
+          }
+        } else if (cfg_.execute) {
+          served.output = entry->value;  // copy now: eviction-safe
+        }
+        last_completion_ = std::max(last_completion_, served.done_s);
+        cache_served_.push_back(std::move(served));
+        return true;
+      }
+      if (inflight_.Attach(key, ordinal, request.arrival_s, request.length)) {
+        ++cache_stats_.coalesced;
+        return true;
+      }
+      ++cache_stats_.misses;
+    }
+  }
 
   const std::size_t waiting = admitted_.size() - launched_;
   if (cfg_.queue_capacity > 0 && waiting >= cfg_.queue_capacity) {
@@ -102,6 +195,10 @@ bool ServingEngine::PushImpl(const TimedRequest& request, MatrixF input) {
   admitted_.push_back(request);
   inputs_.push_back(std::move(input));
   offered_ids_.push_back(ordinal);
+  if (cache_ != nullptr) {
+    admitted_keys_.push_back(key);
+    if (key != kNullCacheKey) inflight_.Lead(key);
+  }
   open_tokens_ += request.length;
   if (admitted_.size() - open_start_ >= cfg_.former.max_batch) {
     SealOpen(BatchSeal::kCapacity, request.arrival_s);
@@ -124,6 +221,7 @@ void ServingEngine::AdvanceTo(double now) {
     waiting_tokens_ -= b.tokens;
     in_service_tokens_ += b.tokens;
     in_flight_.push_back({done, b.tokens});
+    if (cache_ != nullptr) pending_done_.push_back({done, next_launch_});
     ++next_launch_;
   }
   // Retire batches whose virtual completion has passed, so
@@ -137,6 +235,72 @@ void ServingEngine::AdvanceTo(double now) {
     }
   }
   in_flight_.resize(kept);
+  if (cache_ != nullptr) ProcessCacheCompletions(now);
+}
+
+void ServingEngine::ProcessCacheCompletions(double now) {
+  if (pending_done_.empty()) return;
+  // Publish due batches in (completion, seal ordinal) order: a shared
+  // store must see one deterministic insertion sequence regardless of how
+  // launches interleaved across workers.
+  std::sort(pending_done_.begin(), pending_done_.end());
+  std::size_t processed = 0;
+  for (const auto& [done_s, ordinal] : pending_done_) {
+    if (done_s > now) break;
+    for (std::size_t idx : sealed_[ordinal].indices) {
+      CompleteAdmitted(idx, done_s);
+    }
+    ++processed;
+  }
+  pending_done_.erase(pending_done_.begin(),
+                      pending_done_.begin() +
+                          static_cast<std::ptrdiff_t>(processed));
+}
+
+void ServingEngine::CompleteAdmitted(std::size_t idx, double done_s) {
+  last_completion_ = std::max(last_completion_, done_s);
+  const CacheKey key = admitted_keys_[idx];
+  if (key == kNullCacheKey) return;
+  const std::size_t hidden = model_.config().encoder.hidden;
+  cache_->Insert(key,
+                 CacheEntryBytes(admitted_[idx].length, hidden,
+                                 cache_->config()),
+                 cache_epoch_ + done_s, idx, this);
+  for (const CoalescedFollower& f : inflight_.Complete(key)) {
+    CacheServedRequest served;
+    served.offered_id = f.offered_id;
+    served.arrival_s = f.arrival_s;
+    served.done_s = done_s;
+    served.coalesced = true;
+    served.length = f.length;
+    served.leader_admitted = idx;
+    cache_served_.push_back(std::move(served));
+  }
+}
+
+bool ServingEngine::WouldHitCache(const TimedRequest& request,
+                                  double now) const {
+  if (cache_ == nullptr) return false;
+  const CacheKey key = KeyFor(request, MatrixF{});
+  if (key == kNullCacheKey) return false;
+  const CacheEntry* entry = cache_->Peek(key, cache_epoch_ + now);
+  if (entry == nullptr) return false;
+  return !(cfg_.execute && entry->pending() &&
+           entry->producer_owner != this);
+}
+
+bool ServingEngine::WouldCoalesce(const TimedRequest& request) const {
+  if (cache_ == nullptr) return false;
+  const CacheKey key = KeyFor(request, MatrixF{});
+  return key != kNullCacheKey && inflight_.pending(key);
+}
+
+void ServingEngine::InvalidateOwnedCache() {
+  if (cache_ != nullptr && !cache_shared_) cache_->Clear();
+}
+
+void ServingEngine::AlignCacheEpoch(double epoch) {
+  cache_epoch_ = std::max(cache_epoch_, epoch);
 }
 
 void ServingEngine::SealOpen(BatchSeal seal, double ready_s) {
@@ -171,15 +335,31 @@ ServingResult ServingEngine::Drain() {
       ScheduleFormedBatches(admitted_, sealed_, cfg_.workers, cfg_.service);
   result.admission = admission_;
 
+  if (cache_ != nullptr) {
+    // Publish every batch that had not completed by the last arrival.
+    // The schedule's completion times are bit-identical to the ones
+    // AdvanceTo computed for already-published batches (same earliest-
+    // free recurrence over the same sealed order).
+    for (std::size_t b = next_launch_; b < sealed_.size(); ++b) {
+      pending_done_.push_back({result.schedule.done_s[b], b});
+    }
+    ProcessCacheCompletions(std::numeric_limits<double>::infinity());
+  }
+
   if (cfg_.execute) {
     // Synthesize embeddings for requests pushed without one; identity is
-    // the Push() ordinal, so outputs do not depend on batching or
-    // rejections.
+    // the content id when the request carries one (so repeats are
+    // byte-identical) and the Push() ordinal otherwise, so outputs do
+    // not depend on batching, rejections or cache outcomes.
     const std::size_t hidden = model_.config().encoder.hidden;
     for (std::size_t i = 0; i < admitted_.size(); ++i) {
       if (inputs_[i].empty()) {
-        inputs_[i] = SynthesizeRequestEmbedding(
-            cfg_.embed_seed, offered_ids_[i], admitted_[i].length, hidden);
+        inputs_[i] =
+            admitted_[i].id != kAnonymousId
+                ? SynthesizeIdentityEmbedding(cfg_.embed_seed, admitted_[i].id,
+                                              admitted_[i].length, hidden)
+                : SynthesizeRequestEmbedding(cfg_.embed_seed, offered_ids_[i],
+                                             admitted_[i].length, hidden);
       }
     }
 
@@ -200,6 +380,57 @@ ServingResult ServingEngine::Drain() {
     result.wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
             .count();
+  }
+
+  if (cache_ != nullptr) {
+    if (cfg_.execute) {
+      // Hand the computed tensors to the entries this stream produced
+      // (entries evicted since their virtual insert are skipped), then
+      // wire hit/follower outputs to their leaders'.
+      for (const auto& [key, producer] : cache_->PendingOf(this)) {
+        cache_->Materialize(key, result.outputs[producer]);
+      }
+      for (CacheServedRequest& served : cache_served_) {
+        if (served.leader_admitted != CacheServedRequest::npos()) {
+          served.output = result.outputs[served.leader_admitted];
+        }
+      }
+    }
+
+    // Pooled report: admitted requests take their batch's completion,
+    // cache-served requests their own virtual completion, so p99 and
+    // throughput reflect what the caller experienced end to end.
+    std::vector<double> latencies;
+    latencies.reserve(admitted_.size() + cache_served_.size());
+    double first_arrival = std::numeric_limits<double>::infinity();
+    double last_done = 0;
+    double busy_s = 0;
+    for (std::size_t b = 0; b < sealed_.size(); ++b) {
+      const double done = result.schedule.done_s[b];
+      for (std::size_t idx : sealed_[b].indices) {
+        latencies.push_back(done - admitted_[idx].arrival_s);
+        first_arrival = std::min(first_arrival, admitted_[idx].arrival_s);
+      }
+      last_done = std::max(last_done, done);
+      busy_s += result.schedule.service_s[b];
+    }
+    for (const CacheServedRequest& served : cache_served_) {
+      latencies.push_back(served.done_s - served.arrival_s);
+      first_arrival = std::min(first_arrival, served.arrival_s);
+      last_done = std::max(last_done, served.done_s);
+    }
+    const double span =
+        latencies.empty() ? 0 : last_done - first_arrival;
+    result.schedule.report = BuildServingReport(latencies, sealed_.size(),
+                                                busy_s, span, cfg_.workers);
+
+    result.cache = cache_stats_;
+    result.cache.store = cache_->stats();
+    result.cache_served = std::move(cache_served_);
+
+    // The cache clock continues across streams: entries age as if the
+    // next trace were played back to back with this one.
+    cache_epoch_ += std::max(last_completion_, last_arrival_);
   }
 
   result.batches = std::move(sealed_);
@@ -230,6 +461,12 @@ void ServingEngine::ResetStream() {
   waiting_tokens_ = 0;
   in_service_tokens_ = 0;
   in_flight_.clear();
+  inflight_.Clear();
+  cache_stats_ = CacheStats{};
+  cache_served_.clear();
+  admitted_keys_.clear();
+  pending_done_.clear();
+  last_completion_ = 0;
 }
 
 }  // namespace latte

@@ -16,9 +16,34 @@
 // yet launched -- is full at its arrival.  Admission is decided in virtual
 // time with the same dispatch policy the report uses, so rejection counts
 // are deterministic too.
+//
+// Result cache (`cfg.cache.enabled`): an optional, capacity-bounded
+// request-result cache sits *in front of* batch forming.  At Push, a
+// cacheable request (one with a content key under the configured policy)
+// resolves to exactly one of three disjoint outcomes:
+//   * hit       -- a live entry exists: served at arrival + hit_latency_s,
+//                  bypassing admission, the bounded queue and the token
+//                  budget entirely;
+//   * coalesced -- an identical request is admitted but its batch has not
+//                  completed in virtual time: attach as a follower and
+//                  complete with the leader (one execution, N responses);
+//   * miss      -- admitted normally as the leader for its key; when its
+//                  batch completes in virtual time the entry becomes
+//                  visible, and the tensor is materialized at Drain().
+// Everything the cache decides -- hits, TTL expiry, LRU/SLRU eviction --
+// runs on the same virtual clock as dispatch, so cached runs keep the
+// engine's determinism contract: outputs are bit-exact against an
+// uncached engine executing the deduplicated request set, and
+// accounting-only replays are byte-identical at any thread count.  The
+// virtual clock continues across streams (Drain() advances an epoch
+// offset by the stream's span), so entries age as if streams were played
+// back to back.
 
+#include <memory>
 #include <utility>
 
+#include "cache/coalesce.hpp"
+#include "cache/store.hpp"
 #include "model/inference.hpp"
 #include "serve/dispatch.hpp"
 
@@ -42,6 +67,9 @@ struct ServingEngineConfig {
   /// empty picks a token-linear default.  Use AcceleratorServiceModel
   /// (fpga/serving.hpp) to account exactly like the performance twin.
   BatchServiceModel service;
+  /// Request-result cache in front of batch forming (disabled by
+  /// default).  A cluster may override this with a fleet-shared store.
+  ResultCacheConfig cache;
 };
 
 /// Throws std::invalid_argument naming the offending field.
@@ -56,12 +84,42 @@ MatrixF SynthesizeRequestEmbedding(std::uint64_t base_seed,
                                    std::size_t ordinal, std::size_t length,
                                    std::size_t hidden);
 
-/// Admission accounting under backpressure.
+/// Same, for a request that carries a content identity
+/// (TimedRequest::id != kAnonymousId): the tensor is a function of
+/// (base_seed, id, length) alone, so every request sharing an id carries
+/// byte-identical content -- the invariant the result cache's bit-exact
+/// contract rests on.  Uses a different seed mixing than the ordinal
+/// path, so id spaces and ordinal spaces never alias.
+MatrixF SynthesizeIdentityEmbedding(std::uint64_t base_seed, std::uint64_t id,
+                                    std::size_t length, std::size_t hidden);
+
+/// Admission accounting under backpressure.  With a cache in front,
+/// offered counts every Push() while accepted/rejected only cover the
+/// misses that reached admission: offered = accepted + rejected + hits +
+/// coalesced + (cache-disabled: 0).
 struct AdmissionStats {
   std::size_t offered = 0;     ///< Push() calls
   std::size_t accepted = 0;    ///< admitted to the queue
   std::size_t rejected = 0;    ///< bounced by the bounded queue
   std::size_t peak_queue = 0;  ///< max waiting-room occupancy observed
+};
+
+/// One request served from the cache layer instead of a batch: a hit on a
+/// live entry, or a follower coalesced onto an in-flight leader.
+struct CacheServedRequest {
+  std::size_t offered_id = 0;  ///< Push() ordinal
+  double arrival_s = 0;
+  double done_s = 0;    ///< virtual completion (hit: arrival + hit latency;
+                        ///< follower: its leader's batch completion)
+  bool coalesced = false;  ///< false = cache hit, true = follower
+  std::size_t length = 0;
+  /// Admitted index (into this stream) whose output serves this request,
+  /// or npos() when `output` was copied straight from a materialized
+  /// entry at Push time.
+  std::size_t leader_admitted = static_cast<std::size_t>(-1);
+  MatrixF output;  ///< filled at Drain() in execute mode
+
+  static constexpr std::size_t npos() { return static_cast<std::size_t>(-1); }
 };
 
 /// Everything one serving run produces.
@@ -71,8 +129,19 @@ struct ServingResult {
   std::vector<FormedBatch> batches;  ///< indices into admitted order
   std::vector<MatrixF> outputs;      ///< one per admitted request
   std::vector<std::size_t> offered_ids;  ///< admitted -> Push() ordinal
+  /// Hits and coalesced followers (empty when the cache is disabled), in
+  /// the order their completions were recorded: hits at their arrival,
+  /// followers at their leader's batch completion -- NOT Push order.
+  /// Match entries to requests via `offered_id`.  Their latencies are
+  /// pooled into report() alongside the admitted requests'.
+  std::vector<CacheServedRequest> cache_served;
+  CacheStats cache;   ///< lookup outcomes + store snapshot at Drain()
   double wall_s = 0;  ///< measured wall-clock of functional execution
 
+  /// With the cache enabled this is the *pooled* report: admitted, hit
+  /// and coalesced requests all contribute their virtual-time latencies
+  /// (mean_batch_size stays requests/batches, so it exceeds the formed
+  /// batch sizes when hits are served without forming anything).
   const ServingReport& report() const { return schedule.report; }
 };
 
@@ -80,14 +149,21 @@ struct ServingResult {
 ///
 /// The model must outlive the engine.  Usage: Push() requests in arrival
 /// order (or Replay() a whole trace), then Drain() to execute and collect
-/// the result; Drain() resets the engine for the next run.
+/// the result; Drain() resets the engine for the next run (the cache and
+/// its virtual clock persist across runs).
 class ServingEngine {
  public:
-  ServingEngine(const ModelInstance& model, const ServingEngineConfig& cfg);
+  /// `shared_cache` overrides the engine-owned store (the cluster's
+  /// fleet-shared mode); when given, cfg.cache must be enabled and
+  /// supplies the key policy and hit latency while the store's own
+  /// config governs capacity/TTL/eviction.
+  ServingEngine(const ModelInstance& model, const ServingEngineConfig& cfg,
+                std::shared_ptr<ResultCache> shared_cache = nullptr);
 
   /// Offers a request whose input embedding is synthesized from
-  /// (embed_seed, Push ordinal).  Returns false when the bounded queue
-  /// rejects it.  Arrivals must be non-decreasing in time.
+  /// (embed_seed, Push ordinal) -- or from (embed_seed, id) when the
+  /// request carries a content identity.  Returns false when the bounded
+  /// queue rejects it.  Arrivals must be non-decreasing in time.
   bool Push(const TimedRequest& request);
 
   /// Offers a request with a caller-provided embedding
@@ -121,11 +197,51 @@ class ServingEngine {
   /// replica before reading queue_depth() / outstanding_tokens(), so load
   /// signals are comparable across replicas at the arrival instant.
   /// Idempotent; a `now` earlier than the last observed time is a no-op.
+  /// With a cache, completed batches also publish their entries here, so
+  /// repeats arriving after a leader's virtual completion hit.
   void AdvanceTo(double now);
+
+  /// Whether a Push() of `request` at `now` would be served from the
+  /// cache (a live entry exists; routers use this to bypass the
+  /// queue-full skip for hits).  Non-mutating.  Conservative false for
+  /// requests whose key needs a tensor the router does not have
+  /// (kEmbeddingHash without an id), and in execute mode for entries
+  /// still owing their tensor to another engine.
+  bool WouldHitCache(const TimedRequest& request, double now) const;
+
+  /// Whether a Push() of `request` would attach as a coalesced follower
+  /// (an identical request is admitted here and still in flight).
+  /// Followers, like hits, never occupy the waiting room.
+  bool WouldCoalesce(const TimedRequest& request) const;
+
+  /// The engine's cache store (null when disabled); shared across
+  /// replicas in the cluster's fleet-shared mode.
+  const std::shared_ptr<ResultCache>& cache() const { return cache_; }
+
+  /// True when the store came from outside (fleet-shared) rather than
+  /// being engine-owned.
+  bool cache_is_shared() const { return cache_shared_; }
+
+  /// Drops every entry of an engine-*owned* cache (failover
+  /// invalidation); a shared store is left untouched -- its entries
+  /// belong to the fleet, not this engine.
+  void InvalidateOwnedCache();
+
+  /// Virtual-clock offset accumulated over drained streams (entries age
+  /// across streams as if they were played back to back).
+  double cache_epoch() const { return cache_epoch_; }
+
+  /// Fast-forwards the cache clock (never backwards).  The cluster aligns
+  /// every replica to the fleet-max epoch after a drain so a shared
+  /// store sees one coherent timeline.
+  void AlignCacheEpoch(double epoch);
 
  private:
   bool PushImpl(const TimedRequest& request, MatrixF input);
+  CacheKey KeyFor(const TimedRequest& request, const MatrixF& input) const;
   void SealOpen(BatchSeal seal, double ready_s);
+  void ProcessCacheCompletions(double now);
+  void CompleteAdmitted(std::size_t idx, double done_s);
   void ResetStream();
 
   const ModelInstance& model_;
@@ -151,6 +267,19 @@ class ServingEngine {
   std::size_t waiting_tokens_ = 0;     ///< admitted, batch not launched
   std::size_t in_service_tokens_ = 0;  ///< launched, batch not done
   std::vector<std::pair<double, std::size_t>> in_flight_;  ///< (done_s, tokens)
+
+  // Cache layer (null/empty when disabled).
+  std::shared_ptr<ResultCache> cache_;
+  bool cache_shared_ = false;
+  InFlightTable inflight_;
+  CacheStats cache_stats_;  ///< per-stream engine-side counters
+  std::vector<CacheServedRequest> cache_served_;
+  std::vector<CacheKey> admitted_keys_;  ///< parallel to admitted_
+  /// Launched batches whose virtual completion has not been published to
+  /// the cache yet: (done_s, sealed ordinal).
+  std::vector<std::pair<double, std::size_t>> pending_done_;
+  double cache_epoch_ = 0;      ///< virtual-clock offset across streams
+  double last_completion_ = 0;  ///< latest completion seen this stream
 };
 
 }  // namespace latte

@@ -19,6 +19,11 @@ std::uint64_t Rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t MixHash64(std::uint64_t x) {
+  std::uint64_t state = x;
+  return SplitMix64(state);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(sm);

@@ -12,6 +12,13 @@
 
 namespace latte {
 
+/// splitmix64 finalizer: a cheap, well-distributed, platform-stable
+/// 64-bit mixer.  Shared by the cache-key hashes, the Zipf identity
+/// generator and the cluster's rendezvous (key-affinity) routing, which
+/// all need the same "hash this integer deterministically everywhere"
+/// primitive.
+std::uint64_t MixHash64(std::uint64_t x);
+
 /// xoshiro256++ PRNG (Blackman & Vigna), seeded via splitmix64.
 /// Deterministic across platforms; passes BigCrush.
 class Rng {

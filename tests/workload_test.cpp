@@ -5,8 +5,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <numeric>
 
+#include "workload/arrivals.hpp"
 #include "workload/batch.hpp"
 #include "workload/dataset.hpp"
 #include "workload/synthetic.hpp"
@@ -140,6 +142,122 @@ TEST(BatchTest, SquadPaddingOverheadMatchesTable1) {
   const auto b = MakeBatch(lens, BatchPolicy::kPadToMax);
   EXPECT_GT(b.PaddingOverhead(), 3.0);
   EXPECT_LT(b.PaddingOverhead(), 6.0);
+}
+
+// ----------------------------------------------------------------- Zipf --
+
+ZipfTraceConfig ZipfCfg(double skew, std::size_t population = 32,
+                        std::size_t requests = 2000, std::uint64_t seed = 11) {
+  ZipfTraceConfig cfg;
+  cfg.arrival_rate_rps = 100;
+  cfg.requests = requests;
+  cfg.population = population;
+  cfg.skew = skew;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::map<std::uint64_t, std::size_t> IdCounts(
+    const std::vector<TimedRequest>& trace) {
+  std::map<std::uint64_t, std::size_t> counts;
+  for (const auto& r : trace) ++counts[r.id];
+  return counts;
+}
+
+TEST(ZipfTraceTest, ShapeAndOrdering) {
+  const auto trace = GenerateZipfTrace(ZipfCfg(1.0), Mrpc());
+  ASSERT_EQ(trace.size(), 2000u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].arrival_s, trace[i - 1].arrival_s);
+  }
+  for (const auto& r : trace) {
+    EXPECT_NE(r.id, kAnonymousId);
+    EXPECT_GE(r.length, 1u);
+  }
+}
+
+TEST(ZipfTraceTest, SeedReproducibleAndSeedSensitive) {
+  const auto a = GenerateZipfTrace(ZipfCfg(1.0), Mrpc());
+  const auto b = GenerateZipfTrace(ZipfCfg(1.0), Mrpc());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].length, b[i].length);
+    EXPECT_EQ(a[i].id, b[i].id);
+  }
+  const auto c = GenerateZipfTrace(ZipfCfg(1.0, 32, 2000, 12), Mrpc());
+  EXPECT_NE(a.front().id, c.front().id);  // ids are seed-scoped
+}
+
+TEST(ZipfTraceTest, SameIdMeansSameLength) {
+  const auto trace = GenerateZipfTrace(ZipfCfg(1.2), Squad());
+  std::map<std::uint64_t, std::size_t> len_of;
+  for (const auto& r : trace) {
+    const auto [it, inserted] = len_of.emplace(r.id, r.length);
+    if (!inserted) {
+      EXPECT_EQ(it->second, r.length);
+    }
+  }
+  EXPECT_LE(len_of.size(), 32u);  // at most the population
+  EXPECT_GT(len_of.size(), 1u);
+}
+
+TEST(ZipfTraceTest, SkewMonotonicallyConcentratesMass) {
+  // The most popular identity's share must grow with the exponent.
+  auto top_share = [](double skew) {
+    const auto trace = GenerateZipfTrace(ZipfCfg(skew), Mrpc());
+    std::size_t top = 0;
+    for (const auto& [id, count] : IdCounts(trace)) top = std::max(top, count);
+    return static_cast<double>(top) / static_cast<double>(trace.size());
+  };
+  const double s0 = top_share(0.0);
+  const double s1 = top_share(0.8);
+  const double s2 = top_share(1.6);
+  EXPECT_LT(s0, s1);
+  EXPECT_LT(s1, s2);
+}
+
+TEST(ZipfTraceTest, ZeroSkewDegeneratesToUniform) {
+  // With s = 0 every identity is equally likely: over 2000 draws from a
+  // population of 32 (expected 62.5 each), no identity should stray far.
+  const auto trace = GenerateZipfTrace(ZipfCfg(0.0), Mrpc());
+  const auto counts = IdCounts(trace);
+  EXPECT_EQ(counts.size(), 32u);  // every identity appears
+  const double expected =
+      static_cast<double>(trace.size()) / static_cast<double>(counts.size());
+  for (const auto& [id, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count), expected, expected * 0.6)
+        << "id " << id;
+  }
+}
+
+TEST(ZipfTraceTest, DuplicateRateGrowsWithSkewAndShrinksWithPopulation) {
+  const auto skewed = GenerateZipfTrace(ZipfCfg(1.4, 256, 512), Mrpc());
+  const auto flat = GenerateZipfTrace(ZipfCfg(0.0, 256, 512), Mrpc());
+  EXPECT_GT(TraceDuplicateRate(skewed), TraceDuplicateRate(flat));
+  const auto small_pop = GenerateZipfTrace(ZipfCfg(0.0, 16, 512), Mrpc());
+  EXPECT_GT(TraceDuplicateRate(small_pop), TraceDuplicateRate(flat));
+}
+
+TEST(ZipfTraceTest, DuplicateRateIgnoresAnonymousRequests) {
+  PoissonTraceConfig cfg;
+  cfg.requests = 64;
+  const auto anon = GeneratePoissonTrace(cfg, Mrpc());
+  EXPECT_DOUBLE_EQ(TraceDuplicateRate(anon), 0.0);
+}
+
+TEST(ZipfTraceTest, ValidationNamesTheField) {
+  EXPECT_THROW(GenerateZipfTrace(ZipfCfg(-0.5), Mrpc()),
+               std::invalid_argument);
+  auto cfg = ZipfCfg(1.0);
+  cfg.population = 0;
+  EXPECT_THROW(GenerateZipfTrace(cfg, Mrpc()), std::invalid_argument);
+  cfg = ZipfCfg(1.0);
+  cfg.requests = 0;
+  EXPECT_THROW(GenerateZipfTrace(cfg, Mrpc()), std::invalid_argument);
+  cfg = ZipfCfg(1.0);
+  cfg.arrival_rate_rps = 0;
+  EXPECT_THROW(GenerateZipfTrace(cfg, Mrpc()), std::invalid_argument);
 }
 
 // ------------------------------------------------------------ Synthetic --
