@@ -132,6 +132,7 @@ int main(int argc, char** argv) {
   json.BeginObject();
   json.Key("bench").Value("cluster");
   json.Key("schema_version").Value(std::size_t{1});
+  StampHost(json);
   json.Key("dataset").Value(dataset.name);
   json.Key("requests").Value(requests);
   json.Key("service_model").Value("padded");

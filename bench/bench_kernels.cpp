@@ -159,6 +159,7 @@ int main(int argc, char** argv) {
   json.BeginObject();
   json.Key("bench").Value("kernels");
   json.Key("schema_version").Value(std::size_t{1});
+  StampHost(json);
   json.Key("arch").Value(KernelArchName());
   json.Key("single_thread").Value(true);
   json.Key("shapes");

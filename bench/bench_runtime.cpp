@@ -187,6 +187,7 @@ int main(int argc, char** argv) {
   json.BeginObject();
   json.Key("bench").Value("runtime");
   json.Key("schema_version").Value(std::size_t{1});
+  StampHost(json);
   json.Key("workspace");
   json.BeginObject();
   json.Key("alloc_ms").Value(workspace.alloc_ms);

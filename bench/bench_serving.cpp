@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
   json.BeginObject();
   json.Key("bench").Value("serving");
   json.Key("schema_version").Value(std::size_t{1});
+  StampHost(json);
   json.Key("dataset").Value(dataset.name);
   json.Key("accel_model").Value(accel_model.name);
   json.Key("functional_model").Value(func_model.name);

@@ -2,9 +2,12 @@
 """Perf-regression gate over the BENCH_*.json trajectory.
 
 Compares the current bench outputs (BENCH_kernels.json, BENCH_runtime.json,
-BENCH_serving.json, BENCH_cluster.json, BENCH_cache.json) against the
-recorded baselines in bench/baselines/ and fails (exit 1) with a delta
-table when a gated metric regresses beyond the tolerance (default +-25%).
+BENCH_serving.json, BENCH_cluster.json, BENCH_cache.json,
+BENCH_shard.json) against the recorded baselines in bench/baselines/ and
+fails (exit 1) with a delta table when a gated metric regresses beyond the
+tolerance (default +-25%).  Each bench registers its compare function with
+the ``@bench_compare`` decorator; the gating loop and --update both walk
+that registry.
 
 ``--update`` re-records the baselines instead of gating: every current
 BENCH_*.json is copied over its counterpart in the baselines directory.
@@ -21,9 +24,11 @@ Gated by default are the metrics that are stable across host machines:
   eviction cell), checked exactly: the batch former, router and cache are
   trace-driven, so any drift is a policy change, not noise;
 - the cluster headline bit (length-bucketed routing beats round-robin on
-  batch density or p99 in at least one cell) and the cache headline bit
+  batch density or p99 in at least one cell), the cache headline bit
   (cached beats uncached on p99 and throughput in every cell with >= 20%
-  duplicates), checked exactly.
+  duplicates) and the shard headline bit (tensor-parallel sharding beats
+  replication on p99 for at least one long-sequence cell), checked
+  exactly.
 
 Absolute measurements (GFLOP/s, milliseconds, tokens/s) and thread-scaling
 factors vary with the host that recorded the baseline, so they are
@@ -41,6 +46,20 @@ import shutil
 import sys
 
 OK, FAIL, INFO = "ok", "FAIL", "info"
+
+# Per-bench compare dispatch: (filename, compare_fn) pairs in registration
+# order.  Registering a compare function against its BENCH_*.json file is
+# all it takes to add a bench to the gate and to --update's re-record set
+# -- no if/elif arm to extend.
+BENCHES = []
+
+
+def bench_compare(filename):
+    """Decorator: register ``fn`` as the gate for ``filename``."""
+    def register(fn):
+        BENCHES.append((filename, fn))
+        return fn
+    return register
 
 
 def load(path):
@@ -118,6 +137,7 @@ class Gate:
         out.write("\n")
 
 
+@bench_compare("BENCH_kernels.json")
 def compare_kernels(gate, base, cur):
     gate.check("kernels", "min_speedup", base["min_speedup"],
                cur["min_speedup"], "higher")
@@ -136,6 +156,7 @@ def compare_kernels(gate, base, cur):
                    shape["tiled_gflops"], got["tiled_gflops"], "info-higher")
 
 
+@bench_compare("BENCH_runtime.json")
 def compare_runtime(gate, base, cur):
     gate.check("runtime", "workspace.speedup", base["workspace"]["speedup"],
                cur["workspace"]["speedup"], "higher")
@@ -158,6 +179,7 @@ def compare_runtime(gate, base, cur):
                    point["tokens_per_s"], got["tokens_per_s"], "info-higher")
 
 
+@bench_compare("BENCH_cluster.json")
 def compare_cluster(gate, base, cur):
     def key(r):
         return (r["arrival_rps"], r["replicas"], r["policy"])
@@ -199,6 +221,7 @@ def compare_cluster(gate, base, cur):
                cur["bucketed_beats_round_robin"], "exact")
 
 
+@bench_compare("BENCH_cache.json")
 def compare_cache(gate, base, cur):
     def key(r):
         return (r["population"], r["skew"], r["eviction"])
@@ -229,6 +252,7 @@ def compare_cache(gate, base, cur):
                cur["cache_beats_uncached_at_dup_gate"], "exact")
 
 
+@bench_compare("BENCH_serving.json")
 def compare_serving(gate, base, cur):
     def key(r):
         return (r["arrival_rps"], r["policy"])
@@ -251,6 +275,50 @@ def compare_serving(gate, base, cur):
                    "info-higher")
 
 
+@bench_compare("BENCH_shard.json")
+def compare_shard(gate, base, cur):
+    def key(r):
+        return (r["seq_len"], r["degree"], r["interconnect"])
+
+    cur_results = {key(r): r for r in cur["results"]}
+    for res in base["results"]:
+        k = key(res)
+        name = "len=%d/x%d/%s" % k
+        got = cur_results.get(k)
+        if got is None:
+            gate.missing("shard", name)
+            continue
+        # Both engines replay the same trace in virtual time against
+        # deterministic accounting models: counts must match exactly.
+        for field in ("requests", "batches"):
+            gate.check("shard", "%s.%s" % (name, field), res[field],
+                       got[field], "exact")
+        gate.check("shard", "%s.p99_ratio" % name, res["p99_ratio"],
+                   got["p99_ratio"], "info-lower")
+        gate.check("shard", "%s.comm_fraction" % name,
+                   res["comm_fraction"], got["comm_fraction"], "info-lower")
+    cur_crossovers = {(c["degree"], c["interconnect"]): c
+                      for c in cur["crossovers"]}
+    for xo in base["crossovers"]:
+        k = (xo["degree"], xo["interconnect"])
+        name = "x%d/%s" % k
+        got = cur_crossovers.get(k)
+        if got is None:
+            gate.missing("shard", "crossover %s" % name)
+            continue
+        # Sharding wins carry a 1% margin, so the crossover sequence
+        # length is stable against libm-level drift and gates exactly
+        # (0 = sharding never won for this degree x interconnect).
+        gate.check("shard", "%s.crossover_len" % name,
+                   xo["crossover_len"], got["crossover_len"], "exact")
+    # The headline the acceptance rides on: once recorded true, the
+    # tensor-parallel-beats-replication-at-long-sequences bit may never
+    # flip back.
+    gate.check("shard", "sharding_beats_replication_at_long_seq",
+               base["sharding_beats_replication_at_long_seq"],
+               cur["sharding_beats_replication_at_long_seq"], "exact")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baselines", default="bench/baselines",
@@ -267,13 +335,7 @@ def main():
                          "BENCH_*.json files instead of gating")
     args = ap.parse_args()
 
-    benches = (
-        ("BENCH_kernels.json", compare_kernels),
-        ("BENCH_runtime.json", compare_runtime),
-        ("BENCH_serving.json", compare_serving),
-        ("BENCH_cluster.json", compare_cluster),
-        ("BENCH_cache.json", compare_cache),
-    )
+    benches = tuple(BENCHES)
 
     if args.update:
         # Check every current file first so a partial run cannot leave the

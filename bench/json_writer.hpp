@@ -8,7 +8,10 @@
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
+
+#include "tensor/kernels.hpp"
 
 namespace latte::bench {
 
@@ -124,5 +127,32 @@ class JsonWriter {
   std::string out_;
   std::vector<bool> pending_comma_;
 };
+
+/// Compiler identity baked in at build time ("gcc 13.2.0"-style).
+inline std::string CompilerId() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// Stamps the "host" block every BENCH_*.json carries: which micro-kernel
+/// ISA was compiled in, how many hardware threads the machine has, which
+/// compiler built the binary.  Recorded baselines are only comparable
+/// between matching stamps, so check_regression can attribute a drift to
+/// a host change instead of a code change.  Call right after the
+/// schema_version key (inside the root object).
+inline void StampHost(JsonWriter& json) {
+  json.Key("host");
+  json.BeginObject();
+  json.Key("kernel_arch").Value(KernelArchName());
+  json.Key("hardware_threads")
+      .Value(static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  json.Key("compiler").Value(CompilerId());
+  json.EndObject();
+}
 
 }  // namespace latte::bench

@@ -52,6 +52,8 @@ const char* RouterPolicyName(RouterPolicy policy) {
       return "length-bucketed";
     case RouterPolicy::kKeyAffinity:
       return "key-affinity";
+    case RouterPolicy::kLongToSharded:
+      return "long-to-sharded";
   }
   return "unknown";
 }
@@ -62,6 +64,14 @@ void ValidateRouterConfig(const RouterConfig& cfg, std::size_t replicas) {
     case RouterPolicy::kJoinShortestQueue:
     case RouterPolicy::kLeastOutstandingTokens:
     case RouterPolicy::kKeyAffinity:
+      break;
+    case RouterPolicy::kLongToSharded:
+      if (cfg.long_len_threshold == 0) {
+        throw std::invalid_argument(
+            "RouterConfig: long_len_threshold must be >= 1 for the "
+            "long-to-sharded policy (it is the length at which requests "
+            "start preferring sharded replicas)");
+      }
       break;
     case RouterPolicy::kLengthBucketed: {
       if (cfg.length_edges.empty()) {
@@ -135,6 +145,28 @@ std::vector<std::size_t> Router::Rank(
       });
     case RouterPolicy::kLengthBucketed:
       return RotationFrom(BucketOf(request.length) % replica_count_, fleet);
+    case RouterPolicy::kLongToSharded: {
+      // Preferred backend class first (long requests -> sharded gangs,
+      // short -> replicated), join-shortest-queue within a class, the
+      // other class trailing as backpressure fallback.
+      const bool want_sharded = request.length >= cfg_.long_len_threshold;
+      std::vector<std::size_t> ranked;
+      ranked.reserve(fleet.size());
+      for (std::size_t idx = 0; idx < fleet.size(); ++idx) {
+        if (fleet[idx].online) ranked.push_back(idx);
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const bool pa = fleet[a].sharded == want_sharded;
+                  const bool pb = fleet[b].sharded == want_sharded;
+                  if (pa != pb) return pa;
+                  if (fleet[a].queue_depth != fleet[b].queue_depth) {
+                    return fleet[a].queue_depth < fleet[b].queue_depth;
+                  }
+                  return a < b;
+                });
+      return ranked;
+    }
     case RouterPolicy::kKeyAffinity: {
       if (request.id == kAnonymousId) {
         // No content identity to pin on: spread like round-robin (and

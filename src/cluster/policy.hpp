@@ -36,6 +36,15 @@ enum class RouterPolicy {
   /// survivors' (the warm-cache failover property).  Anonymous requests
   /// fall back to the round-robin rotation.
   kKeyAffinity,
+  /// Sharding-aware routing for mixed fleets: requests at least
+  /// `long_len_threshold` tokens long prefer tensor-parallel (sharded)
+  /// replicas -- whose gangs cut long-sequence latency by the compute
+  /// share -- while shorter requests prefer replicated ones, where the
+  /// gang's collective overhead is not worth paying.  Within each class
+  /// replicas rank by shortest queue; the non-preferred class follows as
+  /// fallback so backpressure can still bounce a request across classes
+  /// instead of dropping it.
+  kLongToSharded,
 };
 
 /// Human-readable policy name (bench/report labels).
@@ -53,6 +62,9 @@ struct RouterConfig {
   /// lengths <= length_edges[b]; one extra bucket catches the rest.
   /// Ignored by the other policies.
   std::vector<std::size_t> length_edges;
+  /// kLongToSharded: requests of at least this many tokens prefer
+  /// sharded replicas (must be >= 1 for that policy; ignored by others).
+  std::size_t long_len_threshold = 0;
 };
 
 /// Throws std::invalid_argument naming the offending field when the
@@ -67,6 +79,9 @@ struct ReplicaSnapshot {
   std::size_t outstanding_tokens = 0;  ///< admitted tokens not yet completed
   /// The replica's waiting-room bound; 0 = unbounded.
   std::size_t queue_capacity = 0;
+  /// Whether the replica's backend is a tensor-parallel gang
+  /// (BackendMode::kSharded); kLongToSharded steers on this.
+  bool sharded = false;
 };
 
 /// One policy instance with its (tiny) routing state.

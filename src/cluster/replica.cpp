@@ -41,6 +41,7 @@ ReplicaSnapshot Replica::SnapshotAt(double now) {
   snap.queue_depth = engine_.queue_depth();
   snap.outstanding_tokens = engine_.outstanding_tokens();
   snap.queue_capacity = cfg_.engine.queue_capacity;
+  snap.sharded = cfg_.engine.backend == BackendMode::kSharded;
   return snap;
 }
 

@@ -54,6 +54,13 @@ BatchServiceModel AcceleratorServiceModel(const ModelConfig& model,
   };
 }
 
+BatchServiceModel ShardedAcceleratorServiceModel(
+    const ModelConfig& model, const AcceleratorConfig& accel,
+    const ShardServiceConfig& shard) {
+  return MakeShardedServiceModel(AcceleratorServiceModel(model, accel), model,
+                                 shard);
+}
+
 std::vector<BatchServiceModel> AcceleratorFleetServiceModels(
     const ModelConfig& model, const std::vector<AcceleratorConfig>& accels) {
   std::vector<BatchServiceModel> fleet;

@@ -28,6 +28,7 @@
 
 #include "fpga/accelerator.hpp"
 #include "serve/dispatch.hpp"
+#include "serve/shard_service.hpp"
 #include "workload/dataset.hpp"
 
 namespace latte {
@@ -63,6 +64,14 @@ PoissonTraceConfig ServingTrace(const ServingConfig& cfg);
 /// that matches SimulateServing number for number.
 BatchServiceModel AcceleratorServiceModel(const ModelConfig& model,
                                           const AcceleratorConfig& accel);
+
+/// Accelerator twin behind a tensor-parallel gang: AcceleratorServiceModel
+/// wrapped by MakeShardedServiceModel, so the performance twin can price
+/// a sharded deployment of itself (compute scaled to the plan's critical-
+/// path share, collectives priced by the interconnect model).
+BatchServiceModel ShardedAcceleratorServiceModel(const ModelConfig& model,
+                                                 const AcceleratorConfig& accel,
+                                                 const ShardServiceConfig& shard);
 
 /// Service models for a heterogeneous accelerator fleet: one per
 /// configuration, each pricing batches with its own accelerator instance

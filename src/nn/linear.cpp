@@ -19,6 +19,15 @@ void Linear::ForwardInto(const MatrixF& x, GemmScratch& scratch,
   if (!bias.empty()) AddBiasInPlace(out, bias);
 }
 
+void Linear::ForwardColumnsInto(const MatrixF& x, std::size_t col0,
+                                std::size_t col1, GemmScratch& scratch,
+                                MatrixF& out) const {
+  MatMulColumnsInto(x, weight, col0, col1, out, scratch);
+  if (!bias.empty()) {
+    AddBiasInPlace(out, std::span<const float>(bias).subspan(col0, col1 - col0));
+  }
+}
+
 Linear MakeLinear(Rng& rng, std::size_t in, std::size_t out, bool with_bias) {
   Linear l;
   const double limit =

@@ -1,0 +1,40 @@
+#include "runtime/shard_exec.hpp"
+
+#include <stdexcept>
+
+#include "tensor/matmul.hpp"
+
+namespace latte {
+
+ShardExecutor::ShardExecutor(std::size_t shards, std::size_t threads)
+    : pool_(threads == 0 ? shards : threads), shard_ws_(shards) {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardExecutor: shards must be >= 1");
+  }
+}
+
+void ShardExecutor::RunStage(
+    const std::function<void(std::size_t, Workspace&)>& fn) {
+  for (std::size_t s = 0; s < shard_ws_.size(); ++s) {
+    pool_.Submit([this, &fn, s] { fn(s, shard_ws_[s]); });
+  }
+  pool_.Wait();
+}
+
+void ShardExecutor::ReducePartialsInto(std::size_t rows, std::size_t cols,
+                                       MatrixF& out) {
+  // Re-leasing at the shape the producing stage used is a no-op resize,
+  // so the partials' values survive the lease.
+  out = comm_.Float(shardslots::kPartialBase, rows, cols);
+  for (std::size_t s = 1; s < shard_ws_.size(); ++s) {
+    AddInto(out, comm_.Float(shardslots::kPartialBase + s, rows, cols), out);
+  }
+}
+
+std::size_t ShardExecutor::CapacityBytes() const {
+  std::size_t bytes = comm_.CapacityBytes();
+  for (const auto& ws : shard_ws_) bytes += ws.CapacityBytes();
+  return bytes;
+}
+
+}  // namespace latte

@@ -1,0 +1,90 @@
+#pragma once
+// Gang executor for tensor-parallel encoder shards.
+//
+// One ShardExecutor owns what a gang of N shards needs to run a sharded
+// forward pass with zero steady-state allocations: a ThreadPool, one
+// private Workspace per shard (GEMM pack buffers, per-shard activation
+// slices) and one shared "communication" Workspace whose Float slots
+// stand in for the interconnect: shards write their slices into disjoint
+// column ranges of a comm matrix (the all-gather/concat), and row-
+// parallel partial sums land in per-shard comm slots that the caller
+// reduces in a fixed order.  Everything is byte-accounted: CapacityBytes
+// sums every arena, like GemmScratch, so benches can assert the gang
+// stops allocating at steady-state shapes.
+//
+// Concurrency contract: a stage runs one task per shard and barriers on
+// ThreadPool::Wait(), which rethrows the first task exception (all are
+// counted; see thread_pool.hpp).  Within a stage, shards may read any
+// comm matrix leased before the stage and write only ranges they own, so
+// stage output is independent of thread count and scheduling order --
+// the sharded encoder's bit-exactness and byte-determinism rest on this.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "runtime/workspace.hpp"
+#include "tensor/matrix.hpp"
+
+namespace latte {
+
+/// Float-slot assignments in the communication Workspace of a
+/// ShardExecutor.  Slots below kPartialBase hold gathered full-width
+/// activations; kPartialBase + s holds shard s's row-parallel FFN2
+/// partial sum.
+namespace shardslots {
+inline constexpr std::size_t kCtx = 0;      ///< gathered attention context
+inline constexpr std::size_t kAttnOut = 1;  ///< gathered Wo outputs
+inline constexpr std::size_t kX1 = 2;       ///< post-LN1 residual (serial)
+inline constexpr std::size_t kFfn = 3;      ///< gathered GELU activations
+inline constexpr std::size_t kFfnOut = 4;   ///< gathered / reduced FFN2 out
+inline constexpr std::size_t kPartialBase = 8;  ///< + shard index
+}  // namespace shardslots
+
+/// Owns the pool and scratch arenas of one tensor-parallel gang.
+class ShardExecutor {
+ public:
+  /// A gang of `shards` shards on `threads` pool workers; threads == 0
+  /// means one worker per shard.  Results never depend on the thread
+  /// count -- fewer workers than shards just serializes stage tasks.
+  /// Throws std::invalid_argument when shards == 0.
+  explicit ShardExecutor(std::size_t shards, std::size_t threads = 0);
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  std::size_t shards() const { return shard_ws_.size(); }
+
+  /// Shard s's private arena (valid for the executor's lifetime).
+  Workspace& shard_ws(std::size_t s) { return shard_ws_.at(s); }
+
+  /// The shared communication arena.  Lease comm slots only between
+  /// stages (from the caller thread): Workspace is not internally
+  /// synchronized, so resizing during a stage would race with readers.
+  Workspace& comm() { return comm_; }
+
+  /// Runs `fn(shard, shard_ws(shard))` once per shard and barriers until
+  /// all complete; rethrows the first task exception.
+  void RunStage(const std::function<void(std::size_t, Workspace&)>& fn);
+
+  /// Fixed-order reduction of the row-parallel partials: copies comm slot
+  /// kPartialBase + 0 into `out` and adds slots kPartialBase + 1 ... in
+  /// ascending shard order.  The order never varies, so reduced results
+  /// are deterministic (and byte-stable across thread counts) even though
+  /// float addition is not associative.  Every partial must already hold
+  /// a (rows x cols) matrix from the producing stage.
+  void ReducePartialsInto(std::size_t rows, std::size_t cols, MatrixF& out);
+
+  /// Total bytes held across every arena of the gang (per-shard
+  /// workspaces plus the comm workspace) -- the sharded analogue of
+  /// GemmScratch::CapacityBytes.
+  std::size_t CapacityBytes() const;
+
+ private:
+  ThreadPool pool_;
+  std::vector<Workspace> shard_ws_;
+  Workspace comm_;
+};
+
+}  // namespace latte

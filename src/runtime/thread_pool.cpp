@@ -36,8 +36,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   drain_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
-  if (first_error_) {
-    std::exception_ptr err = std::exchange(first_error_, nullptr);
+  if (!pending_errors_.empty()) {
+    // Rethrow the earliest failure; the rest of the batch is already
+    // counted in task_errors_, so nothing disappears unobserved.
+    std::exception_ptr err = pending_errors_.front();
+    pending_errors_.clear();
     lock.unlock();
     std::rethrow_exception(err);
   }
@@ -46,6 +49,11 @@ void ThreadPool::Wait() {
 std::size_t ThreadPool::completed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return completed_;
+}
+
+std::size_t ThreadPool::task_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return task_errors_;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -63,7 +71,8 @@ void ThreadPool::WorkerLoop() {
       task();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
+      pending_errors_.push_back(std::current_exception());
+      ++task_errors_;
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -5,9 +5,12 @@
 // std::thread objects; LATTE serves a continuous stream of batches, so we
 // keep the workers alive in a pool instead of paying thread creation per
 // batch.  The pool is deliberately minimal: a locked task queue, a
-// condition variable pair (work available / all drained), and first-error
-// capture so a throwing task surfaces in the caller rather than in
-// std::terminate.
+// condition variable pair (work available / all drained), and error
+// capture so throwing tasks surface in the caller rather than in
+// std::terminate.  Every task exception is captured, not just the first:
+// Wait() rethrows the earliest one of the drained batch and task_errors()
+// counts all of them, so a sharded reduction where several workers fail
+// can never fail silently.
 
 #include <condition_variable>
 #include <cstddef>
@@ -23,8 +26,9 @@ namespace latte {
 /// A fixed pool of worker threads draining a shared task queue.
 ///
 /// Thread-compatible: Submit/Wait may be called from one owner thread;
-/// tasks run concurrently on the workers.  Exceptions thrown by tasks are
-/// captured (first one wins) and rethrown from Wait().
+/// tasks run concurrently on the workers.  Every exception thrown by a
+/// task is captured; Wait() rethrows the first of the batch and counts
+/// the rest in task_errors() so none disappear unobserved.
 class ThreadPool {
  public:
   /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
@@ -32,7 +36,8 @@ class ThreadPool {
   explicit ThreadPool(std::size_t threads = 0);
 
   /// Drains outstanding work, then joins the workers.  Pending exceptions
-  /// are swallowed at destruction (call Wait() first to observe them).
+  /// cannot be rethrown from a destructor; they remain visible through
+  /// task_errors() (call Wait() first to observe them as throws).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -47,10 +52,18 @@ class ThreadPool {
 
   /// Blocks until the queue is empty and every worker is idle, then
   /// rethrows the first exception any task raised since the last Wait().
+  /// Further exceptions from the same batch are dropped after being
+  /// counted in task_errors(); the pool stays usable after the throw.
   void Wait();
 
   /// Tasks executed since construction (for tests / utilization metrics).
   std::size_t completed() const;
+
+  /// Task exceptions captured since construction, including ones beyond
+  /// the first of a batch that Wait() could not rethrow.  A caller that
+  /// saw Wait() throw once can compare this across barriers to tell a
+  /// lone failure from a gang-wide one.
+  std::size_t task_errors() const;
 
  private:
   void WorkerLoop();
@@ -62,7 +75,8 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t active_ = 0;     ///< tasks currently executing
   std::size_t completed_ = 0;  ///< tasks finished since construction
-  std::exception_ptr first_error_;
+  std::size_t task_errors_ = 0;  ///< task exceptions captured, cumulative
+  std::vector<std::exception_ptr> pending_errors_;  ///< unthrown this batch
   bool stop_ = false;
 };
 

@@ -53,6 +53,14 @@ void ValidateServingEngineConfig(const ServingEngineConfig& cfg) {
                                   std::string(e.what()));
     }
   }
+  if (cfg.backend == BackendMode::kSharded) {
+    try {
+      ValidateShardServiceConfig(cfg.shard);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("ServingEngineConfig: " +
+                                  std::string(e.what()));
+    }
+  }
 }
 
 ServingEngine::ServingEngine(const ModelInstance& model,
@@ -64,6 +72,14 @@ ServingEngine::ServingEngine(const ModelInstance& model,
     // ~0.5 M tokens/s plus a fixed dispatch cost: a plausible host-side
     // default; pass AcceleratorServiceModel to account like the simulator.
     cfg_.service = TokenLinearServiceModel(2e-6, 2e-4);
+  }
+  if (cfg_.backend == BackendMode::kSharded) {
+    // Each worker slot is a gang: wrap whatever service model was chosen
+    // (or defaulted) with the tensor-parallel compute share and the
+    // interconnect collectives.  Throws if the plan does not fit the
+    // model's encoder shape.
+    cfg_.service =
+        MakeShardedServiceModel(cfg_.service, model.config(), cfg_.shard);
   }
   if (shared_cache != nullptr) {
     if (!cfg_.cache.enabled) {

@@ -46,8 +46,24 @@
 #include "cache/store.hpp"
 #include "model/inference.hpp"
 #include "serve/dispatch.hpp"
+#include "serve/shard_service.hpp"
 
 namespace latte {
+
+/// How the virtual backend slots behind `workers` execute a batch.
+enum class BackendMode {
+  /// Each worker is an independent replica serving whole batches -- the
+  /// pre-sharding behavior and the default.
+  kReplicated,
+  /// Each worker is a gang of `shard.degree` tensor-parallel shards: one
+  /// batch occupies the whole gang, its service time shrunk to the
+  /// ShardPlan compute share plus interconnect collectives
+  /// (MakeShardedServiceModel wraps the configured service model at
+  /// construction).  The functional datapath is unchanged -- the sharded
+  /// encoder is bit-exact against the unsharded one, so outputs cannot
+  /// depend on the backend mode.
+  kSharded,
+};
 
 /// Serving engine knobs.
 struct ServingEngineConfig {
@@ -70,6 +86,12 @@ struct ServingEngineConfig {
   /// Request-result cache in front of batch forming (disabled by
   /// default).  A cluster may override this with a fleet-shared store.
   ResultCacheConfig cache;
+  /// Backend execution mode; kSharded turns every worker slot into a
+  /// tensor-parallel gang priced through `shard`.
+  BackendMode backend = BackendMode::kReplicated;
+  /// Gang shape and interconnect cost; read only when backend ==
+  /// BackendMode::kSharded.
+  ShardServiceConfig shard;
 };
 
 /// Throws std::invalid_argument naming the offending field.

@@ -30,20 +30,24 @@ constexpr std::size_t kNr = 8;
 constexpr std::size_t kKc = 256;
 constexpr std::size_t kMc = 128;
 
-// Packs the (kc x m) slice of B starting at row `pc` into kNr-wide column
-// panels: panel jp holds columns [jp*kNr, jp*kNr + kNr), stored p-major so
-// the micro-kernel streams it contiguously.  The last panel is zero-padded
-// to kNr columns; padded lanes contribute exact zeros to the accumulators,
-// so the micro-kernel never branches on a column tail.
-void PackB(const MatrixF& b, std::size_t pc, std::size_t kc, float* dst) {
-  const std::size_t m = b.cols();
+// Packs the (kc x m) window of B starting at row `pc`, column `col0` into
+// kNr-wide column panels: panel jp holds window columns
+// [jp*kNr, jp*kNr + kNr), stored p-major so the micro-kernel streams it
+// contiguously.  The last panel is zero-padded to kNr columns; padded
+// lanes contribute exact zeros to the accumulators, so the micro-kernel
+// never branches on a column tail.  Full GEMMs pack col0 = 0, m = cols();
+// the sharded column-slice GEMM packs a sub-window, which shifts panel
+// boundaries but not the per-element reduction order -- that is what
+// keeps column shards bit-exact against the monolithic product.
+void PackB(const MatrixF& b, std::size_t col0, std::size_t m, std::size_t pc,
+           std::size_t kc, float* dst) {
   const std::size_t panels = (m + kNr - 1) / kNr;
   for (std::size_t jp = 0; jp < panels; ++jp) {
     const std::size_t j0 = jp * kNr;
     const std::size_t nr = std::min(kNr, m - j0);
     float* out = dst + jp * kc * kNr;
     for (std::size_t p = 0; p < kc; ++p) {
-      const float* src = b.row(pc + p).data() + j0;
+      const float* src = b.row(pc + p).data() + col0 + j0;
       float* o = out + p * kNr;
       for (std::size_t j = 0; j < nr; ++j) o[j] = src[j];
       for (std::size_t j = nr; j < kNr; ++j) o[j] = 0.f;
@@ -259,12 +263,42 @@ void MatMulInto(const MatrixF& a, const MatrixF& b, MatrixF& c,
   }
   TiledGemm(a, a.cols(), b.cols(), c, scratch,
             [&b](std::size_t pc, std::size_t kc, float* dst) {
-              PackB(b, pc, kc, dst);
+              PackB(b, 0, b.cols(), pc, kc, dst);
             });
 }
 
 void MatMulInto(const MatrixF& a, const MatrixF& b, MatrixF& c) {
   MatMulInto(a, b, c, ThreadLocalScratch());
+}
+
+void MatMulColumnsInto(const MatrixF& a, const MatrixF& b, std::size_t col0,
+                       std::size_t col1, MatrixF& c, GemmScratch& scratch) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("MatMulColumnsInto: inner dimensions differ");
+  }
+  if (col0 > col1 || col1 > b.cols()) {
+    throw std::invalid_argument("MatMulColumnsInto: column range out of bounds");
+  }
+  const std::size_t m = col1 - col0;
+  TiledGemm(a, a.cols(), m, c, scratch,
+            [&b, col0, m](std::size_t pc, std::size_t kc, float* dst) {
+              PackB(b, col0, m, pc, kc, dst);
+            });
+}
+
+void MatMulRowsInto(const MatrixF& a, const MatrixF& b, std::size_t row0,
+                    std::size_t row1, MatrixF& c, GemmScratch& scratch) {
+  if (row0 > row1 || row1 > b.rows()) {
+    throw std::invalid_argument("MatMulRowsInto: row range out of bounds");
+  }
+  if (a.cols() != row1 - row0) {
+    throw std::invalid_argument(
+        "MatMulRowsInto: A width must equal the B row range");
+  }
+  TiledGemm(a, a.cols(), b.cols(), c, scratch,
+            [&b, row0](std::size_t pc, std::size_t kc, float* dst) {
+              PackB(b, 0, b.cols(), row0 + pc, kc, dst);
+            });
 }
 
 void MatMulBTInto(const MatrixF& a, const MatrixF& b, MatrixF& c,

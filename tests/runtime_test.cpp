@@ -58,6 +58,33 @@ TEST(ThreadPoolTest, RethrowsFirstTaskException) {
   EXPECT_EQ(hits.load(), 1);
 }
 
+TEST(ThreadPoolTest, CountsEveryTaskErrorNotJustTheFirst) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 6; ++i) {
+    if (i % 2 == 0) {
+      pool.Submit([] { throw std::runtime_error("task failed"); });
+    } else {
+      pool.Submit([&hits] { hits.fetch_add(1); });
+    }
+  }
+  // Wait rethrows one error, but every failing task was captured -- none
+  // were silently swallowed -- and the healthy tasks all ran.
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(pool.task_errors(), 3u);
+  EXPECT_EQ(hits.load(), 3);
+
+  // The batch's errors are consumed by the rethrow; the cumulative
+  // counter keeps the history and the pool stays usable.
+  pool.Submit([&hits] { hits.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(hits.load(), 4);
+  EXPECT_EQ(pool.task_errors(), 3u);
+  pool.Submit([] { throw std::logic_error("later batch"); });
+  EXPECT_THROW(pool.Wait(), std::logic_error);
+  EXPECT_EQ(pool.task_errors(), 4u);
+}
+
 // ----------------------------------------------------------- Workspace --
 
 TEST(WorkspaceTest, AttentionScratchIsReusedAcrossCalls) {
