@@ -22,7 +22,7 @@ int main() {
   for (double rate : {20.0, 60.0, 120.0}) {
     ServingConfig aware;
     aware.arrival_rate_rps = rate;
-    aware.max_batch = 16;
+    aware.former.max_batch = 16;
     aware.requests = 256;
     ServingConfig base = aware;
     base.accel.mode = FpgaMode::kBaseline;

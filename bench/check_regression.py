@@ -3,7 +3,8 @@
 
 Compares the current bench outputs (BENCH_kernels.json, BENCH_runtime.json,
 BENCH_serving.json, BENCH_cluster.json, BENCH_cache.json,
-BENCH_shard.json) against the recorded baselines in bench/baselines/ and
+BENCH_shard.json, BENCH_search.json) against the recorded baselines in
+bench/baselines/ and
 fails (exit 1) with a delta table when a gated metric regresses beyond the
 tolerance (default +-25%).  Each bench registers its compare function with
 the ``@bench_compare`` decorator; the gating loop and --update both walk
@@ -85,6 +86,9 @@ class Gate:
         self.failed = False
 
     def _delta(self, base, cur):
+        if not isinstance(base, (int, float)) or not isinstance(cur,
+                                                                (int, float)):
+            return None  # exact-gated strings (policy names etc.)
         if base == 0:
             return 0.0 if cur == 0 else float("inf")
         return (cur - base) / abs(base)
@@ -317,6 +321,35 @@ def compare_shard(gate, base, cur):
     gate.check("shard", "sharding_beats_replication_at_long_seq",
                base["sharding_beats_replication_at_long_seq"],
                cur["sharding_beats_replication_at_long_seq"], "exact")
+
+
+@bench_compare("BENCH_search.json")
+def compare_search(gate, base, cur):
+    # The SA walk is a pure function of (space, evaluator, seed) and the
+    # evaluator replays a fixed trace through the byte-deterministic
+    # cluster twin, so the winning configuration -- not just its score --
+    # must reproduce exactly on any host.
+    for field in ("replicas", "backend_slots", "policy", "cache_mode",
+                  "chain", "completed", "rejected"):
+        gate.check("search", "winner.%s" % field, base["winner"][field],
+                   cur["winner"][field], "exact")
+    gate.check("search", "sa.evaluations", base["sa"]["evaluations"],
+               cur["sa"]["evaluations"], "exact")
+    gate.check("search", "pareto.size", len(base["pareto"]),
+               len(cur["pareto"]), "exact")
+    gate.check("search", "winner.p99_ms", base["winner"]["p99_ms"],
+               cur["winner"]["p99_ms"], "info-lower")
+    gate.check("search", "winner.energy_j", base["winner"]["energy_j"],
+               cur["winner"]["energy_j"], "info-lower")
+    gate.check("search", "headline.p99_speedup",
+               base["headline"]["p99_speedup"],
+               cur["headline"]["p99_speedup"], "info-higher")
+    # The headline the acceptance rides on: once recorded true, the
+    # SA-matches-or-beats-every-hand-tuned-baseline bit (p99 at the shared
+    # offered load, and never Pareto-dominated) may never flip back.
+    gate.check("search", "sa_beats_best_baseline",
+               base["headline"]["sa_beats_best_baseline"],
+               cur["headline"]["sa_beats_best_baseline"], "exact")
 
 
 def main():

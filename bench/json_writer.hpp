@@ -63,6 +63,20 @@ class JsonWriter {
     }
     return *this;
   }
+  /// Shortest round-trippable representation of `v`: %.17g always
+  /// re-parses to the same bits, so configs serialized with this survive
+  /// an emit/parse cycle exactly (the DesignPoint JSON contract).
+  JsonWriter& ValueExact(double v) {
+    Prefix();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      out_ += buf;
+    }
+    return *this;
+  }
   JsonWriter& Value(std::size_t v) {
     Prefix();
     out_ += std::to_string(v);

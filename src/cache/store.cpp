@@ -24,26 +24,30 @@ std::size_t ProtectedCapBytes(const ResultCacheConfig& cfg) {
 
 }  // namespace
 
-void ValidateResultCacheConfig(const ResultCacheConfig& cfg) {
+ConfigIssues CheckResultCacheConfig(const ResultCacheConfig& cfg) {
+  ConfigIssues issues;
   // Negated comparisons so NaN fails validation instead of slipping past.
   if (!(cfg.ttl_s >= 0) || std::isinf(cfg.ttl_s)) {
-    throw std::invalid_argument(
-        "ResultCacheConfig: ttl_s must be finite and >= 0 (0 = never "
-        "expires), got " +
-        std::to_string(cfg.ttl_s));
+    AddIssue(issues, "ttl_s",
+             "must be finite and >= 0 (0 = never expires), got " +
+                 std::to_string(cfg.ttl_s));
   }
   if (!(cfg.hit_latency_s >= 0) || std::isinf(cfg.hit_latency_s)) {
-    throw std::invalid_argument(
-        "ResultCacheConfig: hit_latency_s must be finite and >= 0, got " +
-        std::to_string(cfg.hit_latency_s));
+    AddIssue(issues, "hit_latency_s",
+             "must be finite and >= 0, got " +
+                 std::to_string(cfg.hit_latency_s));
   }
   if (cfg.eviction == EvictionPolicy::kSegmentedLru &&
       (!(cfg.protected_fraction > 0) || cfg.protected_fraction > 1)) {
-    throw std::invalid_argument(
-        "ResultCacheConfig: protected_fraction must be in (0, 1] for "
-        "segmented LRU, got " +
-        std::to_string(cfg.protected_fraction));
+    AddIssue(issues, "protected_fraction",
+             "must be in (0, 1] for segmented LRU, got " +
+                 std::to_string(cfg.protected_fraction));
   }
+  return issues;
+}
+
+void ValidateResultCacheConfig(const ResultCacheConfig& cfg) {
+  ThrowOnIssues("ResultCacheConfig", CheckResultCacheConfig(cfg));
 }
 
 std::size_t CacheEntryBytes(std::size_t length, std::size_t hidden,

@@ -36,6 +36,7 @@
 #include "cache/eviction.hpp"
 #include "cache/key.hpp"
 #include "cache/stats.hpp"
+#include "config/check.hpp"
 #include "tensor/matrix.hpp"
 
 namespace latte {
@@ -60,6 +61,9 @@ struct ResultCacheConfig {
   /// Fixed per-entry bookkeeping charge on top of the tensor bytes.
   std::size_t entry_overhead_bytes = 64;
 };
+
+/// Names every illegal field; empty means legal.
+ConfigIssues CheckResultCacheConfig(const ResultCacheConfig& cfg);
 
 /// Throws std::invalid_argument naming the offending field.
 void ValidateResultCacheConfig(const ResultCacheConfig& cfg);

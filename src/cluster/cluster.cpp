@@ -26,44 +26,45 @@ const char* ClusterCacheModeName(ClusterCacheMode mode) {
   return "unknown";
 }
 
-void ValidateClusterConfig(const ClusterConfig& cfg) {
+ConfigIssues CheckClusterConfig(const ClusterConfig& cfg) {
+  ConfigIssues issues;
   if (cfg.replicas.empty()) {
-    throw std::invalid_argument(
-        "ClusterConfig: replicas must name at least one replica (an empty "
-        "fleet cannot serve)");
+    AddIssue(issues, "replicas",
+             "must name at least one replica (an empty fleet cannot serve)");
+    return issues;
   }
   for (std::size_t i = 0; i < cfg.replicas.size(); ++i) {
-    ValidateReplicaConfig(cfg.replicas[i], i);
+    MergePrefixed(issues, "replica[" + std::to_string(i) + "]",
+                  CheckReplicaConfig(cfg.replicas[i]));
   }
   if (cfg.cache.mode != ClusterCacheMode::kNone) {
-    try {
-      ValidateResultCacheConfig(cfg.cache.config);
-    } catch (const std::invalid_argument& e) {
-      throw std::invalid_argument("ClusterConfig: cache." +
-                                  std::string(e.what()));
-    }
+    MergePrefixed(issues, "cache", CheckResultCacheConfig(cfg.cache.config));
     for (std::size_t i = 0; i < cfg.replicas.size(); ++i) {
       if (cfg.replicas[i].engine.cache.enabled) {
-        throw std::invalid_argument(
-            "ClusterConfig: replica[" + std::to_string(i) +
-            "].engine.cache.enabled conflicts with the cluster-managed "
-            "cache (mode " +
-            std::string(ClusterCacheModeName(cfg.cache.mode)) +
-            "); configure one or the other");
+        AddIssue(issues,
+                 "replica[" + std::to_string(i) + "].engine.cache.enabled",
+                 "conflicts with the cluster-managed cache (mode " +
+                     std::string(ClusterCacheModeName(cfg.cache.mode)) +
+                     "); configure one or the other");
       }
     }
   }
   const bool execute = cfg.replicas.front().engine.execute;
   for (std::size_t i = 1; i < cfg.replicas.size(); ++i) {
     if (cfg.replicas[i].engine.execute != execute) {
-      throw std::invalid_argument(
-          "ClusterConfig: replica[" + std::to_string(i) +
-          "].engine.execute disagrees with replica[0]; the fleet must be "
-          "uniformly functional or uniformly accounting-only (mixed modes "
-          "would make ClusterResult::outputs partially empty)");
+      AddIssue(issues, "replica[" + std::to_string(i) + "].engine.execute",
+               "disagrees with replica[0]; the fleet must be uniformly "
+               "functional or uniformly accounting-only (mixed modes would "
+               "make ClusterResult::outputs partially empty)");
     }
   }
-  ValidateRouterConfig(cfg.router, cfg.replicas.size());
+  MergePrefixed(issues, "router",
+                CheckRouterConfig(cfg.router, cfg.replicas.size()));
+  return issues;
+}
+
+void ValidateClusterConfig(const ClusterConfig& cfg) {
+  ThrowOnIssues("ClusterConfig", CheckClusterConfig(cfg));
 }
 
 ServingCluster::ServingCluster(const ModelInstance& model,

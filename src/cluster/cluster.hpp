@@ -29,6 +29,7 @@
 #include "cluster/accounting.hpp"
 #include "cluster/policy.hpp"
 #include "cluster/replica.hpp"
+#include "config/check.hpp"
 
 namespace latte {
 
@@ -70,6 +71,11 @@ struct ClusterConfig {
   /// engine configs, which must not set one when a mode is chosen here).
   ClusterCacheConfig cache;
 };
+
+/// Names every illegal field across the whole fleet aggregate (replica
+/// entries carry "replica[i]." prefixes, the router "router.", the fleet
+/// cache "cache."); empty means legal.
+ConfigIssues CheckClusterConfig(const ClusterConfig& cfg);
 
 /// Throws std::invalid_argument naming the offending field (replica
 /// entries are prefixed with their index).

@@ -58,7 +58,8 @@ const char* RouterPolicyName(RouterPolicy policy) {
   return "unknown";
 }
 
-void ValidateRouterConfig(const RouterConfig& cfg, std::size_t replicas) {
+ConfigIssues CheckRouterConfig(const RouterConfig& cfg, std::size_t replicas) {
+  ConfigIssues issues;
   switch (cfg.policy) {
     case RouterPolicy::kRoundRobin:
     case RouterPolicy::kJoinShortestQueue:
@@ -67,43 +68,50 @@ void ValidateRouterConfig(const RouterConfig& cfg, std::size_t replicas) {
       break;
     case RouterPolicy::kLongToSharded:
       if (cfg.long_len_threshold == 0) {
-        throw std::invalid_argument(
-            "RouterConfig: long_len_threshold must be >= 1 for the "
-            "long-to-sharded policy (it is the length at which requests "
-            "start preferring sharded replicas)");
+        AddIssue(issues, "long_len_threshold",
+                 "must be >= 1 for the long-to-sharded policy (it is the "
+                 "length at which requests start preferring sharded "
+                 "replicas)");
       }
       break;
     case RouterPolicy::kLengthBucketed: {
       if (cfg.length_edges.empty()) {
-        throw std::invalid_argument(
-            "RouterConfig: length_edges must name at least one length upper "
-            "bound for the length-bucketed policy (e.g. {64, 128} for "
-            "short/medium/long buckets)");
+        AddIssue(issues, "length_edges",
+                 "must name at least one length upper bound for the "
+                 "length-bucketed policy (e.g. {64, 128} for "
+                 "short/medium/long buckets)");
       }
       std::size_t prev = 0;
       for (std::size_t edge : cfg.length_edges) {
         if (edge == 0) {
-          throw std::invalid_argument(
-              "RouterConfig: length_edges entries must be >= 1 (a 0-token "
-              "bucket can never match a request)");
+          AddIssue(issues, "length_edges",
+                   "entries must be >= 1 (a 0-token bucket can never match "
+                   "a request)");
+          break;
         }
         if (edge <= prev && prev != 0) {
-          throw std::invalid_argument(
-              "RouterConfig: length_edges must be strictly increasing (got " +
-              std::to_string(edge) + " after " + std::to_string(prev) + ")");
+          AddIssue(issues, "length_edges",
+                   "must be strictly increasing (got " + std::to_string(edge) +
+                       " after " + std::to_string(prev) + ")");
+          break;
         }
         prev = edge;
       }
       break;
     }
     default:
-      throw std::invalid_argument(
-          "RouterConfig: policy is not a known RouterPolicy value");
+      AddIssue(issues, "policy", "is not a known RouterPolicy value");
+      break;
   }
   if (replicas == 0) {
-    throw std::invalid_argument(
-        "RouterConfig: a router needs at least one replica to route to");
+    AddIssue(issues, "replicas",
+             "a router needs at least one replica to route to");
   }
+  return issues;
+}
+
+void ValidateRouterConfig(const RouterConfig& cfg, std::size_t replicas) {
+  ThrowOnIssues("RouterConfig", CheckRouterConfig(cfg, replicas));
 }
 
 Router::Router(const RouterConfig& cfg, std::size_t replicas)

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "config/check.hpp"
 #include "workload/arrivals.hpp"
 
 namespace latte {
@@ -66,6 +67,10 @@ struct RouterConfig {
   /// sharded replicas (must be >= 1 for that policy; ignored by others).
   std::size_t long_len_threshold = 0;
 };
+
+/// Names every field that is illegal for a cluster of `replicas`
+/// replicas; empty means legal.
+ConfigIssues CheckRouterConfig(const RouterConfig& cfg, std::size_t replicas);
 
 /// Throws std::invalid_argument naming the offending field when the
 /// router configuration is malformed for a cluster of `replicas` replicas.

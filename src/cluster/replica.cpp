@@ -5,16 +5,18 @@
 
 namespace latte {
 
+ConfigIssues CheckReplicaConfig(const ReplicaConfig& cfg) {
+  ConfigIssues issues;
+  MergePrefixed(issues, "engine", CheckServingEngineConfig(cfg.engine));
+  return issues;
+}
+
 void ValidateReplicaConfig(const ReplicaConfig& cfg, std::size_t index) {
-  try {
-    ValidateServingEngineConfig(cfg.engine);
-  } catch (const std::invalid_argument& e) {
-    const std::string label =
-        cfg.name.empty() ? "replica[" + std::to_string(index) + "]"
-                         : "replica[" + std::to_string(index) + "] (\"" +
-                               cfg.name + "\")";
-    throw std::invalid_argument(label + ": " + e.what());
-  }
+  const std::string label =
+      cfg.name.empty()
+          ? "replica[" + std::to_string(index) + "]"
+          : "replica[" + std::to_string(index) + "] (\"" + cfg.name + "\")";
+  ThrowOnIssues(label, CheckReplicaConfig(cfg));
 }
 
 namespace {

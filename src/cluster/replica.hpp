@@ -13,6 +13,7 @@
 #include <string>
 
 #include "cluster/policy.hpp"
+#include "config/check.hpp"
 #include "serve/engine.hpp"
 
 namespace latte {
@@ -22,6 +23,10 @@ struct ReplicaConfig {
   std::string name;            ///< report label; defaults to "replica-<i>"
   ServingEngineConfig engine;  ///< former, workers, queue, service model
 };
+
+/// Names every illegal field ("engine."-prefixed dot-paths); empty means
+/// legal.
+ConfigIssues CheckReplicaConfig(const ReplicaConfig& cfg);
 
 /// Throws std::invalid_argument naming the offending field, prefixed with
 /// the replica's position so fleet-sized config lists stay debuggable.

@@ -1,0 +1,44 @@
+#include "config/check.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace latte {
+
+void AddIssue(ConfigIssues& issues, std::string field, std::string reason) {
+  issues.push_back(ConfigIssue{std::move(field), std::move(reason)});
+}
+
+void MergePrefixed(ConfigIssues& issues, const std::string& prefix,
+                   ConfigIssues child) {
+  for (ConfigIssue& issue : child) {
+    issue.field = prefix + "." + issue.field;
+    issues.push_back(std::move(issue));
+  }
+}
+
+std::string FormatIssue(const std::string& config_name,
+                        const ConfigIssue& issue) {
+  return config_name + ": " + issue.field + " " + issue.reason;
+}
+
+void ThrowOnIssues(const std::string& config_name, const ConfigIssues& issues) {
+  if (issues.empty()) return;
+  throw std::invalid_argument(FormatIssue(config_name, issues.front()));
+}
+
+bool HasIssueFor(const ConfigIssues& issues, const std::string& field) {
+  for (const ConfigIssue& issue : issues) {
+    if (issue.field == field) return true;
+    if (issue.field.size() > field.size() + 1 &&
+        issue.field.compare(issue.field.size() - field.size() - 1, 1, ".") ==
+            0 &&
+        issue.field.compare(issue.field.size() - field.size(), field.size(),
+                            field) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace latte

@@ -5,38 +5,29 @@
 
 namespace latte {
 
-void ValidateServingConfig(const ServingConfig& cfg) {
-  // Negated comparisons so NaN fails validation instead of slipping past.
+ConfigIssues CheckServingConfig(const ServingConfig& cfg) {
+  ConfigIssues issues;
+  // Negated comparison so NaN fails validation instead of slipping past.
   if (!(cfg.arrival_rate_rps > 0)) {
-    throw std::invalid_argument(
-        "ServingConfig: arrival_rate_rps must be > 0 (got " +
-        std::to_string(cfg.arrival_rate_rps) + ")");
+    AddIssue(issues, "arrival_rate_rps",
+             "must be > 0 (got " + std::to_string(cfg.arrival_rate_rps) + ")");
   }
-  if (cfg.max_batch == 0) {
-    throw std::invalid_argument(
-        "ServingConfig: max_batch must be >= 1 (the batch former needs "
-        "capacity for at least one request)");
-  }
+  MergePrefixed(issues, "former", CheckBatchFormerConfig(cfg.former));
   if (cfg.requests == 0) {
-    throw std::invalid_argument(
-        "ServingConfig: requests must be >= 1 (nothing to simulate)");
+    AddIssue(issues, "requests", "must be >= 1 (nothing to simulate)");
   }
   if (cfg.workers == 0) {
-    throw std::invalid_argument(
-        "ServingConfig: workers must be >= 1 (no backend to dispatch to)");
+    AddIssue(issues, "workers", "must be >= 1 (no backend to dispatch to)");
   }
-  if (!(cfg.batch_timeout_s >= 0)) {
-    throw std::invalid_argument(
-        "ServingConfig: batch_timeout_s must be >= 0 (got " +
-        std::to_string(cfg.batch_timeout_s) + ")");
-  }
+  return issues;
+}
+
+void ValidateServingConfig(const ServingConfig& cfg) {
+  ThrowOnIssues("ServingConfig", CheckServingConfig(cfg));
 }
 
 BatchFormerConfig ServingBatchFormer(const ServingConfig& cfg) {
-  BatchFormerConfig former;
-  former.max_batch = cfg.max_batch;
-  former.timeout_s = cfg.batch_timeout_s;
-  return former;
+  return cfg.former;
 }
 
 PoissonTraceConfig ServingTrace(const ServingConfig& cfg) {

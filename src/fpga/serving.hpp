@@ -26,34 +26,43 @@
 // engine replay the simulator's exact batches — and the qualitative
 // story (the padded baseline saturates first) is unchanged.
 
+#include "config/check.hpp"
 #include "fpga/accelerator.hpp"
+#include "serve/batch_former.hpp"
 #include "serve/dispatch.hpp"
 #include "serve/shard_service.hpp"
 #include "workload/dataset.hpp"
 
 namespace latte {
 
-/// Serving scenario knobs.
+/// Serving scenario knobs.  Batching is the serve-layer former config
+/// itself (`former.max_batch`, `former.timeout_s`, plus the token budget
+/// and length-sorting knobs the twin now inherits for free) -- the twin
+/// no longer duplicates those fields.
 struct ServingConfig {
-  double arrival_rate_rps = 50;   ///< Poisson arrival rate (requests/s)
-  std::size_t max_batch = 16;     ///< batch former capacity
-  double batch_timeout_s = 0.02;  ///< flush a partial batch after this wait
-  std::size_t requests = 512;     ///< simulated request count
-  std::uint64_t seed = 1;         ///< arrivals + lengths
+  double arrival_rate_rps = 50;  ///< Poisson arrival rate (requests/s)
+  BatchFormerConfig former;      ///< shared batch-forming knobs
+  std::size_t requests = 512;    ///< simulated request count
+  std::uint64_t seed = 1;        ///< arrivals + lengths
   /// Concurrent backend workers (devices / BatchRunner slots): formed
   /// batches dispatch to the earliest-free worker, mirroring the host-side
   /// batched execution runtime.  1 reproduces the single-device model.
   std::size_t workers = 1;
-  AcceleratorConfig accel;        ///< backend device configuration
+  AcceleratorConfig accel;  ///< backend device configuration
 };
+
+/// Names every illegal field (non-positive arrival rate, malformed former
+/// -- "former."-prefixed -- zero requests, zero workers); empty means
+/// legal.
+ConfigIssues CheckServingConfig(const ServingConfig& cfg);
 
 /// Throws std::invalid_argument with a field-specific message when a
 /// serving scenario is malformed (non-positive arrival rate, zero batch
 /// capacity, zero requests, zero workers, negative timeout).
 void ValidateServingConfig(const ServingConfig& cfg);
 
-/// The batch former a serving scenario implies (capacity + timeout; no
-/// token budget, arrival-order dispatch).
+/// The batch former a serving scenario implies (the embedded `former`
+/// member; kept so existing call sites read the same).
 BatchFormerConfig ServingBatchFormer(const ServingConfig& cfg);
 
 /// The Poisson trace a serving scenario implies.

@@ -11,19 +11,22 @@ bool PositiveFinite(double v) { return std::isfinite(v) && v > 0; }
 
 }  // namespace
 
-void ValidateInterconnectConfig(const InterconnectConfig& cfg) {
+ConfigIssues CheckInterconnectConfig(const InterconnectConfig& cfg) {
+  ConfigIssues issues;
   if (!PositiveFinite(cfg.link_bytes_per_s)) {
-    throw std::invalid_argument(
-        "InterconnectConfig: link_bytes_per_s must be positive and finite");
+    AddIssue(issues, "link_bytes_per_s", "must be positive and finite");
   }
   if (!std::isfinite(cfg.hop_latency_s) || cfg.hop_latency_s < 0) {
-    throw std::invalid_argument(
-        "InterconnectConfig: hop_latency_s must be non-negative and finite");
+    AddIssue(issues, "hop_latency_s", "must be non-negative and finite");
   }
   if (cfg.dram_spill_bytes > 0 && !PositiveFinite(cfg.dram_bytes_per_s)) {
-    throw std::invalid_argument(
-        "InterconnectConfig: dram_bytes_per_s must be positive and finite");
+    AddIssue(issues, "dram_bytes_per_s", "must be positive and finite");
   }
+  return issues;
+}
+
+void ValidateInterconnectConfig(const InterconnectConfig& cfg) {
+  ThrowOnIssues("InterconnectConfig", CheckInterconnectConfig(cfg));
 }
 
 InterconnectModel::InterconnectModel(const InterconnectConfig& cfg)

@@ -20,6 +20,8 @@
 
 #include <cstddef>
 
+#include "config/check.hpp"
+
 namespace latte {
 
 /// Knobs of the interconnect cost model.
@@ -35,6 +37,10 @@ struct InterconnectConfig {
   std::size_t dram_spill_bytes = 0;
   double dram_bytes_per_s = 16e9;  ///< DRAM bandwidth charged on spills
 };
+
+/// Names every illegal field (non-positive or NaN bandwidths / hop
+/// latency); empty means legal.
+ConfigIssues CheckInterconnectConfig(const InterconnectConfig& cfg);
 
 /// Throws std::invalid_argument naming the offending field (non-positive
 /// or NaN bandwidths / hop latency).

@@ -24,10 +24,16 @@ double OpWeight(const OpSpec& spec, double n) {
 
 }  // namespace
 
-void ValidateShardPlanConfig(const ShardPlanConfig& cfg) {
+ConfigIssues CheckShardPlanConfig(const ShardPlanConfig& cfg) {
+  ConfigIssues issues;
   if (cfg.shards == 0) {
-    throw std::invalid_argument("ShardPlanConfig: shards must be >= 1");
+    AddIssue(issues, "shards", "must be >= 1");
   }
+  return issues;
+}
+
+void ValidateShardPlanConfig(const ShardPlanConfig& cfg) {
+  ThrowOnIssues("ShardPlanConfig", CheckShardPlanConfig(cfg));
 }
 
 std::vector<ShardRange> BalancedRanges(std::size_t total, std::size_t parts) {

@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "config/check.hpp"
 #include "nn/encoder.hpp"
 #include "sched/interconnect.hpp"
 #include "sched/op_graph.hpp"
@@ -53,6 +54,9 @@ struct ShardPlanConfig {
   /// of two all-gathers) but exact only to rounding.
   bool row_parallel_ffn2 = false;
 };
+
+/// Names every illegal field (zero shards); empty means legal.
+ConfigIssues CheckShardPlanConfig(const ShardPlanConfig& cfg);
 
 /// Throws std::invalid_argument when the configuration is malformed
 /// (zero shards).

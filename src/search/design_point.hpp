@@ -1,0 +1,99 @@
+#pragma once
+// DesignPoint: the whole serving deployment as one value.
+//
+// PRs 1-6 scattered the tunable surface across per-module config structs
+// (engine, batch former, cluster/replica/router, cache store, shard
+// gang).  A search loop needs to mutate "the design" as a value, compare
+// two designs, and reproduce a recorded winner exactly -- so this header
+// aggregates the knobs that define a deployment into one copyable
+// struct with
+//
+//   * CheckDesignPoint: the unified named-field validation (composes the
+//     per-module CheckXxxConfig functions into dot-path issues),
+//   * FromDesignPoint adapters producing the existing per-module configs
+//     bit-for-bit (current call sites keep their constructors; the
+//     adapters only assemble what a caller would have written by hand),
+//   * an exact JSON round-trip (emit via bench/json_writer.hpp's
+//     ValueExact, parse via search/json_io.hpp), so any recorded design
+//     -- a bench winner, a Pareto entry -- reproduces the same
+//     deployment byte-for-byte.
+//
+// What is deliberately NOT in a DesignPoint: the harness (model, trace,
+// service model, execute flag, seeds).  Those belong to the evaluator --
+// a design is a deployment shape, not an experiment.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "config/check.hpp"
+#include "search/json_io.hpp"
+#include "serve/engine.hpp"
+
+namespace latte::bench {
+class JsonWriter;  // bench/json_writer.hpp; only referenced here, so the
+                   // public umbrella stays consumable with -I src alone
+}  // namespace latte::bench
+
+namespace latte::search {
+
+/// One replica's slice of the design: batching, capacity, sparsity and
+/// backend shape.
+struct ReplicaDesign {
+  BatchFormerConfig former;        ///< seals: capacity / token budget /
+                                   ///< timeout, plus length sorting
+  std::size_t workers = 1;         ///< concurrent backend slots
+  std::size_t queue_capacity = 0;  ///< waiting-room bound; 0 = unbounded
+  std::size_t top_k = 30;          ///< sparse attention candidates of the
+                                   ///< replica's accelerator
+  BackendMode backend = BackendMode::kReplicated;
+  ShardServiceConfig shard;  ///< gang shape; read when backend == kSharded
+};
+
+/// The full deployment: fleet, router, fleet cache.
+struct DesignPoint {
+  std::vector<ReplicaDesign> replicas;
+  RouterConfig router;
+  ClusterCacheMode cache_mode = ClusterCacheMode::kNone;
+  ResultCacheConfig cache;  ///< store knobs; read when cache_mode != kNone
+};
+
+/// Names every illegal field across the aggregate with dot-paths
+/// ("replicas[1].former.timeout_s", "router.length_edges",
+/// "cache.protected_fraction"); empty means legal.  This is the cheap
+/// non-throwing rejection test the SA loop runs on every mutation.
+ConfigIssues CheckDesignPoint(const DesignPoint& dp);
+
+/// The ServingEngineConfig a replica design implies.  Harness-owned
+/// fields (service model, cache store, execute, threads, embed_seed) are
+/// left at their defaults for the caller to fill; everything a
+/// DesignPoint owns maps field-for-field, so existing call sites that
+/// build the struct by hand stay bit-exact.
+ServingEngineConfig EngineConfigFromDesignPoint(const ReplicaDesign& rd);
+
+/// The ClusterConfig a design implies (replicas via
+/// EngineConfigFromDesignPoint, router and fleet-cache verbatim).
+ClusterConfig ClusterConfigFromDesignPoint(const DesignPoint& dp);
+
+/// Emits the design as one JSON object value into an open writer (the
+/// caller has already positioned a Key).  Doubles use ValueExact, so the
+/// round-trip is bit-exact.
+void WriteDesignPointJson(bench::JsonWriter& json, const DesignPoint& dp);
+
+/// The design as a standalone JSON document.
+std::string DesignPointToJson(const DesignPoint& dp);
+
+/// Parses a design from a JSON value / document produced by
+/// WriteDesignPointJson.  Throws std::invalid_argument on malformed or
+/// incomplete input (a recorded design must reproduce exactly or fail
+/// loudly).
+DesignPoint DesignPointFromJsonValue(const JsonValue& v);
+DesignPoint DesignPointFromJson(std::string_view text);
+
+/// Backend mode names ("replicated" / "sharded"), mirroring the other
+/// enum-name helpers.
+const char* BackendModeName(BackendMode mode);
+
+}  // namespace latte::search

@@ -1,0 +1,95 @@
+#pragma once
+// DesignSpace: the legal knob menus and the seeded move operators.
+//
+// The space is menu-shaped on purpose: every knob draws from a small,
+// explicitly enumerated set of values (SET's schedule-tree search has the
+// same structure -- moves swap between enumerable alternatives, not over
+// a continuum).  That keeps three properties the SA driver leans on:
+//
+//   * Bounded mutation.  A move changes exactly one thing -- one knob of
+//     one replica, the fleet size by one, the router, or the cache -- and
+//     lands on a menu value, so a chain can only random-walk inside the
+//     enumerated space.
+//   * Determinism.  Sample/Mutate consume randomness from a caller-owned
+//     Rng only; equal seeds give equal walks on any host or thread count.
+//   * Honest comparisons.  A backend-slot budget (sum over replicas of
+//     workers x gang size) caps the hardware a design may provision, so
+//     the search cannot "win" by simply buying more devices than the
+//     hand-tuned baselines it is gated against.  Over-budget proposals
+//     are *produced* by Mutate and rejected by CheckInSpace -- that is
+//     the unified-validator rejection path the SA loop counts.
+
+#include <cstddef>
+#include <vector>
+
+#include "search/design_point.hpp"
+#include "tensor/rng.hpp"
+
+namespace latte::search {
+
+/// The enumerated design space.  Defaults describe a small NoC-class
+/// deployment and are what bench_search explores.
+struct DesignSpace {
+  std::size_t min_replicas = 1;
+  std::size_t max_replicas = 4;
+  /// Cap on BackendSlots(dp): total provisioned devices (a sharded gang
+  /// of degree d behind w workers provisions w*d).
+  std::size_t max_backend_slots = 6;
+
+  // Per-replica menus.
+  std::vector<std::size_t> max_batch_menu = {2, 4, 8, 16, 32};
+  std::vector<std::size_t> max_tokens_menu = {0, 1024, 2048, 4096};
+  std::vector<double> timeout_menu = {0.005, 0.01, 0.02, 0.05, 0.1};
+  std::vector<std::size_t> workers_menu = {1, 2, 4};
+  std::vector<std::size_t> queue_menu = {0, 64, 256};
+  std::vector<std::size_t> top_k_menu = {16, 30, 64};
+  std::vector<std::size_t> degree_menu = {2, 4};
+
+  // Router menus.
+  std::vector<RouterPolicy> policy_menu = {
+      RouterPolicy::kRoundRobin,          RouterPolicy::kJoinShortestQueue,
+      RouterPolicy::kLeastOutstandingTokens, RouterPolicy::kLengthBucketed,
+      RouterPolicy::kKeyAffinity,         RouterPolicy::kLongToSharded};
+  std::vector<std::vector<std::size_t>> edges_menu = {{152},
+                                                      {105, 152, 219}};
+  std::vector<std::size_t> threshold_menu = {128, 192, 256};
+
+  // Cache menus.
+  std::vector<ClusterCacheMode> cache_mode_menu = {
+      ClusterCacheMode::kNone, ClusterCacheMode::kPerReplica,
+      ClusterCacheMode::kShared};
+  std::vector<std::size_t> cache_capacity_menu = {1u << 20, 8u << 20,
+                                                  64u << 20};
+  std::vector<double> ttl_menu = {0, 5, 30};
+  std::vector<EvictionPolicy> eviction_menu = {EvictionPolicy::kLru,
+                                               EvictionPolicy::kSegmentedLru};
+
+  /// The deployment's fabric: every sharded gang prices its collectives
+  /// on this interconnect (fixed -- the search tunes the design, not the
+  /// datacenter).
+  InterconnectConfig interconnect;
+};
+
+/// Total provisioned backend devices of a design: sum over replicas of
+/// workers x (sharded ? degree : 1).
+std::size_t BackendSlots(const DesignPoint& dp);
+
+/// CheckDesignPoint plus the space's own bounds: fleet size range, the
+/// backend-slot budget, and menu membership of every knob.  Empty means
+/// the design is legal *and* inside this space.
+ConfigIssues CheckInSpace(const DesignSpace& space, const DesignPoint& dp);
+
+/// Draws a uniform design from the space, then deterministically repairs
+/// it to the backend-slot budget (shrinking workers, then gangs, then the
+/// fleet).  The result always passes CheckInSpace.
+DesignPoint SampleDesign(const DesignSpace& space, Rng& rng);
+
+/// One bounded move: grow/shrink the fleet by one replica, step one knob
+/// of one replica to a neighboring menu value, re-draw the router policy,
+/// or step the cache.  The result stays menu-valued but may exceed the
+/// slot budget -- callers reject via CheckInSpace (the SA loop's invalid-
+/// mutation path).  Never mutates `dp` in place.
+DesignPoint MutateDesign(const DesignSpace& space, const DesignPoint& dp,
+                         Rng& rng);
+
+}  // namespace latte::search

@@ -1,0 +1,144 @@
+#include "search/evaluator.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "cluster/cluster.hpp"
+#include "fpga/serving.hpp"
+#include "metrics/energy.hpp"
+#include "search/design_space.hpp"
+
+namespace latte::search {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double PowInt(double base, int n) {
+  double out = 1;
+  for (int i = 0; i < n; ++i) out *= base;
+  return out;
+}
+
+/// Dynamic energy of executing one request of `length` tokens on a slot
+/// with `top_k` sparse candidates: DSP MACs plus HBM traffic of the full
+/// stack (latency_s = 0 -- the static term is priced fleet-wide below).
+double RequestDynamicJoules(const ModelConfig& model,
+                            const AcceleratorConfig& accel,
+                            std::size_t length, std::size_t top_k) {
+  const double n = static_cast<double>(length);
+  const double macs =
+      model.TotalModelFlops(n, AttentionMode::kSparseTopK, top_k) / 2.0;
+  const double offchip_bytes =
+      model.TotalModelOffchipElems(n, AttentionMode::kSparseTopK, top_k) *
+      accel.element_bytes;
+  return EstimateBatchEnergy(macs, /*lut_ops=*/0, /*onchip_bytes=*/0,
+                             offchip_bytes, /*latency_s=*/0)
+      .TotalJoules();
+}
+
+}  // namespace
+
+EvaluatorConfig::EvaluatorConfig()
+    : model(ScaledDown(BertBase(), 6)), dataset(Squad()) {
+  // A skewed ~4s trace: long enough that batching and caching matter,
+  // short enough that one evaluation costs milliseconds.
+  trace.arrival_rate_rps = 60;
+  trace.requests = 192;
+  trace.population = 48;
+  trace.skew = 1.0;
+  trace.seed = 7;
+}
+
+bool Dominates(const DesignScore& a, const DesignScore& b) {
+  if (!a.valid) return false;
+  if (!b.valid) return true;
+  const bool no_worse = a.p99_s <= b.p99_s &&
+                        a.throughput_rps >= b.throughput_rps &&
+                        a.energy_j <= b.energy_j;
+  const bool better = a.p99_s < b.p99_s ||
+                      a.throughput_rps > b.throughput_rps ||
+                      a.energy_j < b.energy_j;
+  return no_worse && better;
+}
+
+DesignEvaluator::DesignEvaluator(const EvaluatorConfig& cfg)
+    : cfg_(cfg),
+      model_(cfg.model, cfg.model_seed),
+      trace_(GenerateZipfTrace(cfg.trace, cfg.dataset)) {}
+
+DesignScore DesignEvaluator::Evaluate(const DesignPoint& dp) const {
+  DesignScore score;
+  score.cost = kInf;
+  score.issues = CheckDesignPoint(dp);
+  if (!score.issues.empty()) return score;
+
+  ClusterConfig ccfg = ClusterConfigFromDesignPoint(dp);
+  for (std::size_t i = 0; i < ccfg.replicas.size(); ++i) {
+    ServingEngineConfig& engine = ccfg.replicas[i].engine;
+    engine.execute = false;  // accounting-only twin: the SA oracle
+    engine.threads = 1;
+    AcceleratorConfig accel = cfg_.accel;
+    accel.top_k = dp.replicas[i].top_k;
+    engine.service = AcceleratorServiceModel(cfg_.model, accel);
+  }
+
+  ServingCluster cluster(model_, ccfg);
+  const ClusterResult result = cluster.Replay(trace_);
+  const ServingReport& fleet = result.fleet();
+
+  score.offered = result.routing.offered;
+  score.completed = fleet.requests;
+  score.rejected = result.routing.rejected;
+  score.p99_s = fleet.p99_latency_s;
+  score.throughput_rps = fleet.throughput_rps;
+  if (score.completed == 0 || !(score.throughput_rps > 0)) {
+    AddIssue(score.issues, "design",
+             "completed no requests on the evaluation trace");
+    return score;
+  }
+
+  // Dynamic energy: every request that reached a replica is priced at
+  // that replica's sparsity, then scaled by the fraction the replica
+  // actually executed (cache hits compute nothing).
+  std::vector<double> routed_joules(dp.replicas.size(), 0);
+  std::vector<std::size_t> routed_count(dp.replicas.size(), 0);
+  for (std::size_t p = 0; p < result.replica_of.size(); ++p) {
+    const std::size_t r = result.replica_of[p];
+    if (r == ClusterResult::npos()) continue;
+    routed_joules[r] += RequestDynamicJoules(cfg_.model, cfg_.accel,
+                                             trace_[p].length,
+                                             dp.replicas[r].top_k);
+    ++routed_count[r];
+  }
+  double dynamic_j = 0;
+  for (std::size_t r = 0; r < dp.replicas.size(); ++r) {
+    if (routed_count[r] == 0) continue;
+    const double executed_frac =
+        static_cast<double>(result.report.replicas[r].requests) /
+        static_cast<double>(routed_count[r]);
+    dynamic_j += routed_joules[r] * std::min(1.0, executed_frac);
+  }
+  // Static energy: every provisioned slot idles (or works) for the whole
+  // span, so over-provisioned fleets pay for their silicon.
+  const double span_s =
+      static_cast<double>(score.completed) / score.throughput_rps;
+  const double static_w = FpgaPowerWatts(cfg_.accel.spec, 0.0);
+  const double static_j =
+      static_w * span_s * static_cast<double>(BackendSlots(dp));
+  score.energy_j = dynamic_j + static_j;
+
+  // SET's e^n * d: delay (p99, inflated by shed load) times energy^n.
+  const double reject_frac =
+      score.offered == 0
+          ? 0
+          : static_cast<double>(score.rejected) /
+                static_cast<double>(score.offered);
+  score.cost = score.p99_s * (1.0 + cfg_.reject_penalty * reject_frac) *
+               PowInt(score.energy_j, cfg_.energy_exponent);
+  score.valid = std::isfinite(score.cost);
+  if (!score.valid) score.cost = kInf;
+  return score;
+}
+
+}  // namespace latte::search

@@ -6,17 +6,23 @@
 
 namespace latte {
 
-void ValidateBatchFormerConfig(const BatchFormerConfig& cfg) {
+ConfigIssues CheckBatchFormerConfig(const BatchFormerConfig& cfg) {
+  ConfigIssues issues;
   if (cfg.max_batch == 0) {
-    throw std::invalid_argument(
-        "BatchFormerConfig: max_batch must be >= 1 (the former needs "
-        "capacity for at least one request)");
+    AddIssue(issues, "max_batch",
+             "must be >= 1 (the former needs capacity for at least one "
+             "request)");
   }
+  // Negated comparison so NaN fails validation instead of slipping past.
   if (!(cfg.timeout_s >= 0)) {
-    throw std::invalid_argument(
-        "BatchFormerConfig: timeout_s must be >= 0 (got " +
-        std::to_string(cfg.timeout_s) + ")");
+    AddIssue(issues, "timeout_s",
+             "must be >= 0 (got " + std::to_string(cfg.timeout_s) + ")");
   }
+  return issues;
+}
+
+void ValidateBatchFormerConfig(const BatchFormerConfig& cfg) {
+  ThrowOnIssues("BatchFormerConfig", CheckBatchFormerConfig(cfg));
 }
 
 std::vector<FormedBatch> FormBatches(const std::vector<TimedRequest>& trace,

@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "config/check.hpp"
 #include "workload/arrivals.hpp"
 
 namespace latte {
@@ -40,6 +41,10 @@ struct BatchFormerConfig {
   /// paper's sorted micro-batching; membership is unaffected).
   bool sort_by_length = false;
 };
+
+/// Names every illegal field (zero capacity, negative or NaN timeout);
+/// empty means legal.
+ConfigIssues CheckBatchFormerConfig(const BatchFormerConfig& cfg);
 
 /// Throws std::invalid_argument when the former configuration is malformed
 /// (zero capacity, negative or NaN timeout).

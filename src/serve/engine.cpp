@@ -31,36 +31,31 @@ MatrixF SynthesizeIdentityEmbedding(std::uint64_t base_seed, std::uint64_t id,
   return MakeInputEmbedding(rng, length, hidden);
 }
 
-void ValidateServingEngineConfig(const ServingEngineConfig& cfg) {
-  ValidateBatchFormerConfig(cfg.former);
+ConfigIssues CheckServingEngineConfig(const ServingEngineConfig& cfg) {
+  ConfigIssues issues;
+  MergePrefixed(issues, "former", CheckBatchFormerConfig(cfg.former));
   if (cfg.workers == 0) {
-    throw std::invalid_argument(
-        "ServingEngineConfig: workers must be >= 1 (no backend slot to "
-        "account against)");
+    AddIssue(issues, "workers",
+             "must be >= 1 (no backend slot to account against)");
   }
   if (cfg.execute && cfg.inference.mode != InferenceMode::kDenseFloat &&
       cfg.inference.mode != InferenceMode::kDenseInt8 &&
       cfg.inference.sparse.top_k == 0) {
-    throw std::invalid_argument(
-        "ServingEngineConfig: inference.sparse.top_k must be >= 1 for the "
-        "sparse execution modes (0 selects no attention candidates)");
+    AddIssue(issues, "inference.sparse.top_k",
+             "must be >= 1 for the sparse execution modes (0 selects no "
+             "attention candidates)");
   }
   if (cfg.cache.enabled) {
-    try {
-      ValidateResultCacheConfig(cfg.cache);
-    } catch (const std::invalid_argument& e) {
-      throw std::invalid_argument("ServingEngineConfig: " +
-                                  std::string(e.what()));
-    }
+    MergePrefixed(issues, "cache", CheckResultCacheConfig(cfg.cache));
   }
   if (cfg.backend == BackendMode::kSharded) {
-    try {
-      ValidateShardServiceConfig(cfg.shard);
-    } catch (const std::invalid_argument& e) {
-      throw std::invalid_argument("ServingEngineConfig: " +
-                                  std::string(e.what()));
-    }
+    MergePrefixed(issues, "shard", CheckShardServiceConfig(cfg.shard));
   }
+  return issues;
+}
+
+void ValidateServingEngineConfig(const ServingEngineConfig& cfg) {
+  ThrowOnIssues("ServingEngineConfig", CheckServingEngineConfig(cfg));
 }
 
 ServingEngine::ServingEngine(const ModelInstance& model,

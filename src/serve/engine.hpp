@@ -44,6 +44,7 @@
 
 #include "cache/coalesce.hpp"
 #include "cache/store.hpp"
+#include "config/check.hpp"
 #include "model/inference.hpp"
 #include "serve/dispatch.hpp"
 #include "serve/shard_service.hpp"
@@ -93,6 +94,10 @@ struct ServingEngineConfig {
   /// BackendMode::kSharded.
   ShardServiceConfig shard;
 };
+
+/// Names every illegal field (nested former/cache/shard issues carry
+/// dot-path prefixes); empty means legal.
+ConfigIssues CheckServingEngineConfig(const ServingEngineConfig& cfg);
 
 /// Throws std::invalid_argument naming the offending field.
 void ValidateServingEngineConfig(const ServingEngineConfig& cfg);

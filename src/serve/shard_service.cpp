@@ -7,18 +7,19 @@
 
 namespace latte {
 
-void ValidateShardServiceConfig(const ShardServiceConfig& cfg) {
+ConfigIssues CheckShardServiceConfig(const ShardServiceConfig& cfg) {
+  ConfigIssues issues;
   if (cfg.degree < 2) {
-    throw std::invalid_argument(
-        "ShardServiceConfig: degree must be >= 2 (a 1-shard gang is plain "
-        "replication)");
+    AddIssue(issues, "degree",
+             "must be >= 2 (a 1-shard gang is plain replication)");
   }
-  try {
-    ValidateInterconnectConfig(cfg.interconnect);
-  } catch (const std::invalid_argument& e) {
-    throw std::invalid_argument("ShardServiceConfig: " +
-                                std::string(e.what()));
-  }
+  MergePrefixed(issues, "interconnect",
+                CheckInterconnectConfig(cfg.interconnect));
+  return issues;
+}
+
+void ValidateShardServiceConfig(const ShardServiceConfig& cfg) {
+  ThrowOnIssues("ShardServiceConfig", CheckShardServiceConfig(cfg));
 }
 
 BatchServiceModel MakeShardedServiceModel(BatchServiceModel base,

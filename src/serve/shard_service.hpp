@@ -17,6 +17,7 @@
 // replicas; past a crossover length the 1/N compute term wins on p99.
 // bench/bench_shard.cpp sweeps exactly this surface.
 
+#include "config/check.hpp"
 #include "model/config.hpp"
 #include "sched/interconnect.hpp"
 #include "sched/shard_plan.hpp"
@@ -37,6 +38,10 @@ struct ShardServiceConfig {
   /// collectives that cannot amortize.  0 shards everything.
   std::size_t min_sharded_len = 0;
 };
+
+/// Names every illegal field (degree < 2, malformed interconnect --
+/// nested issues carry an "interconnect." prefix); empty means legal.
+ConfigIssues CheckShardServiceConfig(const ShardServiceConfig& cfg);
 
 /// Throws std::invalid_argument naming the offending field (degree < 2,
 /// malformed interconnect).

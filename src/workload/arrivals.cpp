@@ -8,17 +8,21 @@
 
 namespace latte {
 
-void ValidatePoissonTraceConfig(const PoissonTraceConfig& cfg) {
+ConfigIssues CheckPoissonTraceConfig(const PoissonTraceConfig& cfg) {
+  ConfigIssues issues;
   // Negated comparison so NaN fails validation instead of slipping past.
   if (!(cfg.arrival_rate_rps > 0)) {
-    throw std::invalid_argument(
-        "PoissonTraceConfig: arrival_rate_rps must be > 0 (got " +
-        std::to_string(cfg.arrival_rate_rps) + ")");
+    AddIssue(issues, "arrival_rate_rps",
+             "must be > 0 (got " + std::to_string(cfg.arrival_rate_rps) + ")");
   }
   if (cfg.requests == 0) {
-    throw std::invalid_argument(
-        "PoissonTraceConfig: requests must be >= 1 (nothing to generate)");
+    AddIssue(issues, "requests", "must be >= 1 (nothing to generate)");
   }
+  return issues;
+}
+
+void ValidatePoissonTraceConfig(const PoissonTraceConfig& cfg) {
+  ThrowOnIssues("PoissonTraceConfig", CheckPoissonTraceConfig(cfg));
 }
 
 std::vector<TimedRequest> GeneratePoissonTrace(const PoissonTraceConfig& cfg,
@@ -38,27 +42,28 @@ std::vector<TimedRequest> GeneratePoissonTrace(const PoissonTraceConfig& cfg,
   return trace;
 }
 
-void ValidateZipfTraceConfig(const ZipfTraceConfig& cfg) {
+ConfigIssues CheckZipfTraceConfig(const ZipfTraceConfig& cfg) {
+  ConfigIssues issues;
   if (!(cfg.arrival_rate_rps > 0)) {
-    throw std::invalid_argument(
-        "ZipfTraceConfig: arrival_rate_rps must be > 0 (got " +
-        std::to_string(cfg.arrival_rate_rps) + ")");
+    AddIssue(issues, "arrival_rate_rps",
+             "must be > 0 (got " + std::to_string(cfg.arrival_rate_rps) + ")");
   }
   if (cfg.requests == 0) {
-    throw std::invalid_argument(
-        "ZipfTraceConfig: requests must be >= 1 (nothing to generate)");
+    AddIssue(issues, "requests", "must be >= 1 (nothing to generate)");
   }
   if (cfg.population == 0) {
-    throw std::invalid_argument(
-        "ZipfTraceConfig: population must be >= 1 (no identities to "
-        "sample)");
+    AddIssue(issues, "population", "must be >= 1 (no identities to sample)");
   }
   if (!(cfg.skew >= 0)) {
-    throw std::invalid_argument(
-        "ZipfTraceConfig: skew must be >= 0 (0 = uniform popularity), "
-        "got " +
-        std::to_string(cfg.skew));
+    AddIssue(issues, "skew",
+             "must be >= 0 (0 = uniform popularity), got " +
+                 std::to_string(cfg.skew));
   }
+  return issues;
+}
+
+void ValidateZipfTraceConfig(const ZipfTraceConfig& cfg) {
+  ThrowOnIssues("ZipfTraceConfig", CheckZipfTraceConfig(cfg));
 }
 
 std::vector<TimedRequest> GenerateZipfTrace(const ZipfTraceConfig& cfg,

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "config/check.hpp"
 #include "workload/dataset.hpp"
 
 namespace latte {
@@ -39,6 +40,10 @@ struct PoissonTraceConfig {
   std::uint64_t seed = 1;        ///< drives both gaps and lengths
 };
 
+/// Names every illegal field (non-positive or NaN rate, zero requests);
+/// empty means legal.
+ConfigIssues CheckPoissonTraceConfig(const PoissonTraceConfig& cfg);
+
 /// Throws std::invalid_argument when the trace configuration is malformed
 /// (non-positive or NaN rate, zero requests).
 void ValidatePoissonTraceConfig(const PoissonTraceConfig& cfg);
@@ -60,6 +65,10 @@ struct ZipfTraceConfig {
   double skew = 1.0;
   std::uint64_t seed = 1;         ///< drives gaps, lengths and identities
 };
+
+/// Names every illegal field (non-positive or NaN rate, zero requests,
+/// zero population, negative or NaN skew); empty means legal.
+ConfigIssues CheckZipfTraceConfig(const ZipfTraceConfig& cfg);
 
 /// Throws std::invalid_argument naming the offending field (non-positive
 /// or NaN rate, zero requests, zero population, negative or NaN skew).

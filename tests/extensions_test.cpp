@@ -252,9 +252,9 @@ TEST(ModelInstanceTest, ScaledDownRejectsZero) {
 ServingConfig LightServing() {
   ServingConfig cfg;
   cfg.arrival_rate_rps = 40;
-  cfg.max_batch = 8;
+  cfg.former.max_batch = 8;
   cfg.requests = 96;
-  cfg.batch_timeout_s = 0.02;
+  cfg.former.timeout_s = 0.02;
   return cfg;
 }
 
@@ -304,7 +304,7 @@ TEST(ServingTest, RejectsBadConfig) {
   EXPECT_THROW(SimulateServing(BertBase(), Mrpc(), cfg),
                std::invalid_argument);
   cfg = LightServing();
-  cfg.max_batch = 0;
+  cfg.former.max_batch = 0;
   EXPECT_THROW(SimulateServing(BertBase(), Mrpc(), cfg),
                std::invalid_argument);
 }

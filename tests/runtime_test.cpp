@@ -413,8 +413,8 @@ TEST(ServingValidationTest, RejectsEachBadFieldWithClearMessage) {
   bad.arrival_rate_rps = -3;
   EXPECT_NE(message_of(bad).find("arrival_rate_rps"), std::string::npos);
   bad = cfg;
-  bad.max_batch = 0;
-  EXPECT_NE(message_of(bad).find("max_batch"), std::string::npos);
+  bad.former.max_batch = 0;
+  EXPECT_NE(message_of(bad).find("former.max_batch"), std::string::npos);
   bad = cfg;
   bad.requests = 0;
   EXPECT_NE(message_of(bad).find("requests"), std::string::npos);
@@ -422,15 +422,15 @@ TEST(ServingValidationTest, RejectsEachBadFieldWithClearMessage) {
   bad.workers = 0;
   EXPECT_NE(message_of(bad).find("workers"), std::string::npos);
   bad = cfg;
-  bad.batch_timeout_s = -0.1;
-  EXPECT_NE(message_of(bad).find("batch_timeout_s"), std::string::npos);
+  bad.former.timeout_s = -0.1;
+  EXPECT_NE(message_of(bad).find("former.timeout_s"), std::string::npos);
   // NaN must not slip through a `<= 0` comparison.
   bad = cfg;
   bad.arrival_rate_rps = std::numeric_limits<double>::quiet_NaN();
   EXPECT_NE(message_of(bad).find("arrival_rate_rps"), std::string::npos);
   bad = cfg;
-  bad.batch_timeout_s = std::numeric_limits<double>::quiet_NaN();
-  EXPECT_NE(message_of(bad).find("batch_timeout_s"), std::string::npos);
+  bad.former.timeout_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NE(message_of(bad).find("former.timeout_s"), std::string::npos);
 
   EXPECT_NO_THROW(ValidateServingConfig(cfg));
 }
@@ -446,7 +446,7 @@ TEST(ServingWorkersTest, MoreWorkersDoNotHurtSaturatedThroughput) {
   ServingConfig cfg;
   cfg.arrival_rate_rps = 5000;  // deeply saturated: queueing dominates
   cfg.requests = 64;
-  cfg.max_batch = 8;
+  cfg.former.max_batch = 8;
 
   ServingConfig two = cfg;
   two.workers = 2;

@@ -301,8 +301,8 @@ TEST(ServingEngineTest, EngineBatchesMatchSharedFormer) {
 TEST(ServingEngineTest, AgreesWithSimulatorOnSharedScenario) {
   ServingConfig scenario;
   scenario.arrival_rate_rps = 80;
-  scenario.max_batch = 8;
-  scenario.batch_timeout_s = 0.02;
+  scenario.former.max_batch = 8;
+  scenario.former.timeout_s = 0.02;
   scenario.requests = 48;
   scenario.seed = 3;
   scenario.workers = 2;
