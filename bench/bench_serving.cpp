@@ -81,9 +81,11 @@ int main(int argc, char** argv) {
       cfg.inference.sparse.top_k = 30;
       // The device prices each batch in dispatch order: sortedness comes
       // from the former under test, not from the device model.
-      AcceleratorConfig accel;
-      accel.sort_batch = false;
-      cfg.service = AcceleratorServiceModel(accel_model, accel);
+      ServiceModelSpec spec;
+      spec.base = ServiceModelSpec::Base::kAccelerator;
+      spec.model = accel_model;
+      spec.accel.sort_batch = false;
+      cfg.service = BuildServiceModel(spec);
 
       ServingEngine engine(model, cfg);
       const ServingResult res = engine.Replay(trace);

@@ -112,8 +112,10 @@ int main(int argc, char** argv) {
   // benchmarking, not just the divisible case.
   const ModelConfig model_cfg = ScaledDown(BertBase(), 2);
   const ModelInstance model(model_cfg, 2026);
-  const BatchServiceModel base_service =
-      AcceleratorServiceModel(model_cfg, AcceleratorConfig{});
+  ServiceModelSpec base_spec;
+  base_spec.base = ServiceModelSpec::Base::kAccelerator;
+  base_spec.model = model_cfg;
+  const BatchServiceModel base_service = BuildServiceModel(base_spec);
   const OpGraph graph =
       OpGraph::Chain(EncoderOps(model_cfg.encoder, AttentionMode::kDense));
 

@@ -3,7 +3,8 @@
 
 Compares the current bench outputs (BENCH_kernels.json, BENCH_runtime.json,
 BENCH_serving.json, BENCH_cluster.json, BENCH_cache.json,
-BENCH_shard.json, BENCH_search.json) against the recorded baselines in
+BENCH_shard.json, BENCH_search.json, BENCH_adaptive.json) against the
+recorded baselines in
 bench/baselines/ and
 fails (exit 1) with a delta table when a gated metric regresses beyond the
 tolerance (default +-25%).  Each bench registers its compare function with
@@ -350,6 +351,47 @@ def compare_search(gate, base, cur):
     gate.check("search", "sa_beats_best_baseline",
                base["headline"]["sa_beats_best_baseline"],
                cur["headline"]["sa_beats_best_baseline"], "exact")
+
+
+@bench_compare("BENCH_adaptive.json")
+def compare_adaptive(gate, base, cur):
+    cur_results = {r["config"]: r for r in cur["results"]}
+    for res in base["results"]:
+        name = res["config"]
+        got = cur_results.get(name)
+        if got is None:
+            gate.missing("adaptive", name)
+            continue
+        # Every cell is accounting-only virtual time over a fixed ramp
+        # trace, so admission and batching counts must match exactly.
+        for field in ("requests", "accepted", "rejected", "batches"):
+            gate.check("adaptive", "%s.%s" % (name, field), res[field],
+                       got[field], "exact")
+        # Tier accuracies are fidelity-model outputs quantized to 1e-4;
+        # the stream mean is a weighted sum of those constants over exact
+        # counts, so it gates exactly too.
+        gate.check("adaptive", "%s.mean_accuracy" % name,
+                   res["mean_accuracy"], got["mean_accuracy"], "exact")
+        gate.check("adaptive", "%s.p99_ms" % name, res["p99_ms"],
+                   got["p99_ms"], "info-lower")
+        for i, tier in enumerate(res.get("tiers", [])):
+            got_tier = got["tiers"][i]
+            for field in ("requests", "batches", "escalated"):
+                gate.check("adaptive", "%s.tiers[%d].%s" % (name, i, field),
+                           tier[field], got_tier[field], "exact")
+    gate.check("adaptive", "determinism.bit_identical",
+               base["determinism"]["bit_identical"],
+               cur["determinism"]["bit_identical"], "exact")
+    gate.check("adaptive", "determinism.degraded_requests",
+               base["determinism"]["degraded_requests"],
+               cur["determinism"]["degraded_requests"], "exact")
+    # The headline the acceptance rides on: once recorded true, the
+    # adaptive-holds-SLO-with-fewer-rejects-above-the-floor bit may never
+    # flip back.
+    for field in ("p99_within_slo", "accuracy_above_floor",
+                  "lower_reject_than_baselines", "adaptive_beats_fixed"):
+        gate.check("adaptive", "headline.%s" % field,
+                   base["headline"][field], cur["headline"][field], "exact")
 
 
 def main():

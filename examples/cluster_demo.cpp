@@ -77,8 +77,10 @@ int main() {
     ClusterConfig cfg;
     ReplicaConfig accel = replica();
     accel.name = "fpga-aware";
-    accel.engine.service =
-        AcceleratorFleetServiceModels(BertBase(), {AcceleratorConfig{}})[0];
+    ServiceModelSpec accel_spec;
+    accel_spec.base = ServiceModelSpec::Base::kAccelerator;
+    accel_spec.model = BertBase();
+    accel.engine.service = BuildServiceModel(accel_spec);
     ReplicaConfig slow = replica();
     slow.name = "padded-baseline";
     slow.engine.service = PaddedServiceModel(120e-6, 2e-3);

@@ -38,7 +38,11 @@ int main() {
   cfg.threads = 2;
   cfg.inference.mode = InferenceMode::kSparseInt8;
   cfg.inference.sparse.top_k = 30;
-  cfg.service = AcceleratorServiceModel(accel_model, scenario.accel);
+  ServiceModelSpec spec;
+  spec.base = ServiceModelSpec::Base::kAccelerator;
+  spec.model = accel_model;
+  spec.accel = scenario.accel;
+  cfg.service = BuildServiceModel(spec);
 
   // 1. Replay the trace the simulator would generate for this scenario.
   const auto trace = GeneratePoissonTrace(ServingTrace(scenario), dataset);

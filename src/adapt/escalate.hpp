@@ -1,0 +1,48 @@
+#pragma once
+// Escalation probe: which first-pass results are too uncertain to ship.
+//
+// The ladder's last rung is a cheap high-sparsity first pass.  Whether its
+// result can be trusted is decided from the candidate selector's own
+// evidence: if the quantized score gap between the last kept and the first
+// dropped candidate is wide, the top-k cut is stable and the sparse result
+// is close to dense; if the boundary is a near-tie, mass is being cut off
+// and the request is re-run at tier 0 (the full model).  The probe runs
+// the real At-Sel pipeline (core/candidate_selector) on layer 0, head 0 of
+// the serving model over a deterministic row sample, so it is cheap
+// (O(rows * n * head_dim)), needs no dense reference, and is bit-identical
+// at any thread count.
+
+#include <cstddef>
+
+#include "model/inference.hpp"
+#include "tensor/matrix.hpp"
+
+namespace latte {
+
+/// What the probe measured for one request.
+struct EscalationProbe {
+  /// Mean over sampled query rows of the normalized boundary margin
+  ///   (score[k-1] - score[k]) / (score[0] - score[k])
+  /// of the approximate (quantized) selector scores: 1 = every row's cut
+  /// is maximally stable, 0 = every row's boundary is a tie.
+  double mean_margin = 1.0;
+  std::size_t rows = 0;  ///< query rows sampled
+};
+
+/// Runs the selector-margin probe for one request embedding `x`
+/// (length x hidden) against `model`'s layer-0 Q/K projections (head 0),
+/// with `top_k` matching the first-pass tier.  At most `max_rows` query
+/// rows are sampled (the leading rows; deterministic).  `bits` is the
+/// selector quantization width (1 or 4).
+EscalationProbe ProbeSelectorMargin(const MatrixF& x,
+                                    const ModelInstance& model,
+                                    std::size_t top_k, int bits,
+                                    std::size_t max_rows);
+
+/// The escalation decision: margins strictly below the threshold escalate.
+inline bool ShouldEscalate(const EscalationProbe& probe,
+                           double margin_threshold) {
+  return probe.mean_margin < margin_threshold;
+}
+
+}  // namespace latte

@@ -60,8 +60,20 @@ ClusterReport BuildClusterReport(const std::vector<ReplicaDrainView>& fleet) {
     acc.requests = res.offered_ids.size();
     total_workers += view.workers;
 
+    // Adaptive replicas: a superseded first pass is not a served request
+    // (its escalated re-run carries the caller's latency), so it burns
+    // busy time and batch fill but never joins the latency pool.
+    const auto is_superseded = [&res](std::size_t idx) {
+      return idx < res.superseded.size() && res.superseded[idx] != 0;
+    };
+    for (std::size_t idx = 0; idx < res.superseded.size(); ++idx) {
+      if (res.superseded[idx] != 0) --acc.requests;
+    }
+
     // Per-request latency and per-batch fill from the dispatch schedule:
-    // request latency is its batch's completion minus its own arrival.
+    // request latency is its batch's completion minus its own arrival
+    // (for an escalated re-run, offered_ids points at the original offer,
+    // so the latency runs from the root arrival).
     double replica_fill = 0;
     for (std::size_t b = 0; b < res.batches.size(); ++b) {
       const FormedBatch& batch = res.batches[b];
@@ -69,9 +81,10 @@ ClusterReport BuildClusterReport(const std::vector<ReplicaDrainView>& fleet) {
       std::size_t max_len = 0;
       for (std::size_t idx : batch.indices) {
         const TimedRequest& req = offers[res.offered_ids[idx]];
+        max_len = std::max(max_len, req.length);
+        if (is_superseded(idx)) continue;
         latencies.push_back(done - req.arrival_s);
         acc.tokens += req.length;
-        max_len = std::max(max_len, req.length);
         if (!any_batch || req.arrival_s < first_arrival) {
           first_arrival = req.arrival_s;
         }
@@ -134,6 +147,29 @@ ClusterReport BuildClusterReport(const std::vector<ReplicaDrainView>& fleet) {
   const double span = any_batch ? last_done - first_arrival : 0;
   cluster.fleet = BuildServingReport(latencies, total_batches, busy_s, span,
                                      total_workers == 0 ? 1 : total_workers);
+
+  // Fleet accuracy: request-weighted mean of the replica means, and the
+  // per-tier usage merged by ladder position (a heterogeneous fleet keeps
+  // the first replica's top_k/accuracy labels for each rung).
+  double acc_weighted = 0;
+  std::size_t acc_requests = 0;
+  for (const ReplicaAccounting& acc : cluster.replicas) {
+    acc_weighted += acc.report.mean_accuracy *
+                    static_cast<double>(acc.report.requests);
+    acc_requests += acc.report.requests;
+    for (std::size_t t = 0; t < acc.report.tiers.size(); ++t) {
+      if (cluster.fleet.tiers.size() <= t) {
+        cluster.fleet.tiers.push_back(acc.report.tiers[t]);
+        continue;
+      }
+      cluster.fleet.tiers[t].requests += acc.report.tiers[t].requests;
+      cluster.fleet.tiers[t].batches += acc.report.tiers[t].batches;
+      cluster.fleet.tiers[t].escalated += acc.report.tiers[t].escalated;
+    }
+  }
+  cluster.fleet.mean_accuracy =
+      acc_requests == 0 ? 1.0
+                        : acc_weighted / static_cast<double>(acc_requests);
   cluster.request_imbalance = Imbalance(counts);
   cluster.token_imbalance = Imbalance(tokens);
   cluster.mean_batch_fill =

@@ -47,6 +47,14 @@ ConfigIssues CheckClusterConfig(const ClusterConfig& cfg) {
                      std::string(ClusterCacheModeName(cfg.cache.mode)) +
                      "); configure one or the other");
       }
+      if (cfg.replicas[i].engine.adapt.enabled) {
+        AddIssue(
+            issues,
+            "replica[" + std::to_string(i) + "].engine.adapt.enabled",
+            "conflicts with the cluster-managed cache (the engine forbids "
+            "cache + adaptive; drop the fleet cache or this replica's "
+            "adaptive layer)");
+      }
     }
   }
   const bool execute = cfg.replicas.front().engine.execute;
@@ -93,12 +101,11 @@ ServingCluster::ServingCluster(const ModelInstance& model,
   offer_global_.resize(replicas_.size());
 }
 
-bool ServingCluster::Push(const TimedRequest& request) {
-  return PushImpl(request, MatrixF{}, /*has_input=*/false);
-}
-
-bool ServingCluster::Push(const TimedRequest& request, MatrixF input) {
-  return PushImpl(request, std::move(input), /*has_input=*/true);
+bool ServingCluster::Push(const TimedRequest& request,
+                          std::optional<MatrixF> input) {
+  const bool has_input = input.has_value();
+  return PushImpl(request, has_input ? std::move(*input) : MatrixF{},
+                  has_input);
 }
 
 bool ServingCluster::PushImpl(const TimedRequest& request, MatrixF input,

@@ -23,6 +23,7 @@
 // remaining fleet.
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -115,13 +116,12 @@ class ServingCluster {
   /// are immutable, Forward() is const and thread-compatible).
   ServingCluster(const ModelInstance& model, const ClusterConfig& cfg);
 
-  /// Routes one request.  Returns false when it was rejected (every
+  /// Routes one request, optionally with a caller-provided embedding
+  /// (length x hidden).  Returns false when it was rejected (every
   /// routable replica full, or the fleet offline).  Arrivals must be
   /// non-decreasing in time.
-  bool Push(const TimedRequest& request);
-
-  /// Same, with a caller-provided embedding (length x hidden).
-  bool Push(const TimedRequest& request, MatrixF input);
+  bool Push(const TimedRequest& request,
+            std::optional<MatrixF> input = std::nullopt);
 
   /// Drains every replica (executing admitted batches in real-execution
   /// mode), merges the fleet accounting and resets for the next stream.

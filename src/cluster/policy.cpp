@@ -54,6 +54,8 @@ const char* RouterPolicyName(RouterPolicy policy) {
       return "key-affinity";
     case RouterPolicy::kLongToSharded:
       return "long-to-sharded";
+    case RouterPolicy::kLeastDegraded:
+      return "least-degraded";
   }
   return "unknown";
 }
@@ -65,6 +67,7 @@ ConfigIssues CheckRouterConfig(const RouterConfig& cfg, std::size_t replicas) {
     case RouterPolicy::kJoinShortestQueue:
     case RouterPolicy::kLeastOutstandingTokens:
     case RouterPolicy::kKeyAffinity:
+    case RouterPolicy::kLeastDegraded:
       break;
     case RouterPolicy::kLongToSharded:
       if (cfg.long_len_threshold == 0) {
@@ -168,6 +171,26 @@ std::vector<std::size_t> Router::Rank(
                   const bool pa = fleet[a].sharded == want_sharded;
                   const bool pb = fleet[b].sharded == want_sharded;
                   if (pa != pb) return pa;
+                  if (fleet[a].queue_depth != fleet[b].queue_depth) {
+                    return fleet[a].queue_depth < fleet[b].queue_depth;
+                  }
+                  return a < b;
+                });
+      return ranked;
+    }
+    case RouterPolicy::kLeastDegraded: {
+      // Full-quality replicas first; shortest queue breaks level ties so
+      // the policy still spreads load once every replica degrades.
+      std::vector<std::size_t> ranked;
+      ranked.reserve(fleet.size());
+      for (std::size_t idx = 0; idx < fleet.size(); ++idx) {
+        if (fleet[idx].online) ranked.push_back(idx);
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [&](std::size_t a, std::size_t b) {
+                  if (fleet[a].service_level != fleet[b].service_level) {
+                    return fleet[a].service_level < fleet[b].service_level;
+                  }
                   if (fleet[a].queue_depth != fleet[b].queue_depth) {
                     return fleet[a].queue_depth < fleet[b].queue_depth;
                   }

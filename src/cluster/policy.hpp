@@ -46,6 +46,12 @@ enum class RouterPolicy {
   /// fallback so backpressure can still bounce a request across classes
   /// instead of dropping it.
   kLongToSharded,
+  /// Degradation-aware routing for adaptive fleets: rank replicas by
+  /// ascending controller level (ReplicaSnapshot::service_level), so new
+  /// requests prefer the replica still serving full quality; ties break
+  /// by shortest queue, then lowest index.  A non-adaptive replica
+  /// always reports level 0 and so ranks as full quality.
+  kLeastDegraded,
 };
 
 /// Human-readable policy name (bench/report labels).
@@ -87,6 +93,10 @@ struct ReplicaSnapshot {
   /// Whether the replica's backend is a tensor-parallel gang
   /// (BackendMode::kSharded); kLongToSharded steers on this.
   bool sharded = false;
+  /// The replica's adaptive-controller degradation level (0 = full
+  /// quality, also for non-adaptive replicas); kLeastDegraded steers on
+  /// this.
+  std::size_t service_level = 0;
 };
 
 /// One policy instance with its (tiny) routing state.

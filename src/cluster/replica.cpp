@@ -44,6 +44,7 @@ ReplicaSnapshot Replica::SnapshotAt(double now) {
   snap.outstanding_tokens = engine_.outstanding_tokens();
   snap.queue_capacity = cfg_.engine.queue_capacity;
   snap.sharded = cfg_.engine.backend == BackendMode::kSharded;
+  snap.service_level = engine_.service_level();
   return snap;
 }
 

@@ -46,8 +46,8 @@ class Replica {
 
   /// Offers a request (with or without a caller-provided embedding).
   /// Returns false when the replica's bounded queue rejects it.
-  bool Offer(const TimedRequest& request) { return engine_.Push(request); }
-  bool Offer(const TimedRequest& request, MatrixF input) {
+  bool Offer(const TimedRequest& request,
+             std::optional<MatrixF> input = std::nullopt) {
     return engine_.Push(request, std::move(input));
   }
 

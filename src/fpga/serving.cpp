@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "serve/service_model.hpp"
+
 namespace latte {
 
 ConfigIssues CheckServingConfig(const ServingConfig& cfg) {
@@ -40,20 +42,30 @@ PoissonTraceConfig ServingTrace(const ServingConfig& cfg) {
 
 BatchServiceModel AcceleratorServiceModel(const ModelConfig& model,
                                           const AcceleratorConfig& accel) {
-  return [model, accel](const std::vector<std::size_t>& lengths) {
-    return RunAccelerator(model, lengths, accel).latency_s;
-  };
+  // Deprecated shim over the unified surface (serve/service_model.hpp).
+  ServiceModelSpec spec;
+  spec.base = ServiceModelSpec::Base::kAccelerator;
+  spec.model = model;
+  spec.accel = accel;
+  return BuildServiceModel(spec);
 }
 
 BatchServiceModel ShardedAcceleratorServiceModel(
     const ModelConfig& model, const AcceleratorConfig& accel,
     const ShardServiceConfig& shard) {
-  return MakeShardedServiceModel(AcceleratorServiceModel(model, accel), model,
-                                 shard);
+  // Deprecated shim over the unified surface (serve/service_model.hpp).
+  ServiceModelSpec spec;
+  spec.base = ServiceModelSpec::Base::kAccelerator;
+  spec.model = model;
+  spec.accel = accel;
+  spec.sharded = true;
+  spec.shard = shard;
+  return BuildServiceModel(spec);
 }
 
 std::vector<BatchServiceModel> AcceleratorFleetServiceModels(
     const ModelConfig& model, const std::vector<AcceleratorConfig>& accels) {
+  // Deprecated shim over the unified surface (serve/service_model.hpp).
   std::vector<BatchServiceModel> fleet;
   fleet.reserve(accels.size());
   for (const AcceleratorConfig& accel : accels) {

@@ -68,25 +68,26 @@ BatchFormerConfig ServingBatchFormer(const ServingConfig& cfg);
 /// The Poisson trace a serving scenario implies.
 PoissonTraceConfig ServingTrace(const ServingConfig& cfg);
 
-/// Prices one batch with the accelerator model: the performance twin's
-/// service model, usable by the functional ServingEngine for accounting
-/// that matches SimulateServing number for number.
+/// DEPRECATED: thin shim over BuildServiceModel (serve/service_model.hpp)
+/// with Base::kAccelerator -- build a ServiceModelSpec instead.  Prices
+/// one batch with the accelerator model: the performance twin's service
+/// model, usable by the functional ServingEngine for accounting that
+/// matches SimulateServing number for number.
 BatchServiceModel AcceleratorServiceModel(const ModelConfig& model,
                                           const AcceleratorConfig& accel);
 
-/// Accelerator twin behind a tensor-parallel gang: AcceleratorServiceModel
-/// wrapped by MakeShardedServiceModel, so the performance twin can price
-/// a sharded deployment of itself (compute scaled to the plan's critical-
-/// path share, collectives priced by the interconnect model).
+/// DEPRECATED: thin shim over BuildServiceModel with `sharded = true` --
+/// build a ServiceModelSpec instead.  Accelerator twin behind a
+/// tensor-parallel gang (compute scaled to the plan's critical-path
+/// share, collectives priced by the interconnect model).
 BatchServiceModel ShardedAcceleratorServiceModel(const ModelConfig& model,
                                                  const AcceleratorConfig& accel,
                                                  const ShardServiceConfig& shard);
 
-/// Service models for a heterogeneous accelerator fleet: one per
-/// configuration, each pricing batches with its own accelerator instance
-/// (different top_k, clock or baseline padding per replica).  Feed these
-/// to a ServingCluster (cluster/cluster.hpp) to model a pool of unlike
-/// performance twins behind one router.
+/// DEPRECATED: build one ServiceModelSpec per replica and call
+/// BuildServiceModel in a loop instead.  Service models for a
+/// heterogeneous accelerator fleet: one per configuration, each pricing
+/// batches with its own accelerator instance.
 std::vector<BatchServiceModel> AcceleratorFleetServiceModels(
     const ModelConfig& model, const std::vector<AcceleratorConfig>& accels);
 

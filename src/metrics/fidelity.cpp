@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "nn/attention.hpp"
@@ -63,6 +64,56 @@ FidelityReport EvaluateFidelity(const AttentionProblem& problem,
   const double err = FrobeniusDistance(sparse, dense);
   rep.output_rel_error = dense_norm > 0 ? err / dense_norm : 0.0;
   return rep;
+}
+
+TierAccuracyTable BuildTopKAccuracyTable(const TierAccuracyTableConfig& cfg,
+                                         std::vector<std::size_t> top_ks) {
+  std::sort(top_ks.begin(), top_ks.end());
+  top_ks.erase(std::unique(top_ks.begin(), top_ks.end()), top_ks.end());
+  TierAccuracyTable table;
+  table.top_ks = std::move(top_ks);
+  table.accuracies.reserve(table.top_ks.size());
+  for (const std::size_t k : table.top_ks) {
+    // One Rng per top_k, reseeded identically: every row of the table
+    // scores the same problem population, so accuracies are monotone in
+    // top_k up to fidelity-model noise.
+    Rng rng(cfg.seed);
+    double sum = 0;
+    std::size_t count = 0;
+    for (const std::size_t n : cfg.lengths) {
+      for (std::size_t s = 0; s < cfg.samples_per_length; ++s) {
+        const AttentionProblem problem =
+            GenerateAttentionProblem(rng, n, cfg.workload);
+        SparseAttentionConfig sparse;
+        sparse.top_k = k;
+        sum += EvaluateFidelity(problem, sparse).output_cosine;
+        ++count;
+      }
+    }
+    table.accuracies.push_back(count > 0 ? sum / static_cast<double>(count)
+                                         : 1.0);
+  }
+  return table;
+}
+
+double AccuracyForTopK(const TierAccuracyTable& table, std::size_t top_k) {
+  if (table.top_ks.empty() ||
+      table.top_ks.size() != table.accuracies.size()) {
+    throw std::invalid_argument(
+        "AccuracyForTopK: table must be non-empty with matching top_ks and "
+        "accuracies");
+  }
+  const auto it =
+      std::lower_bound(table.top_ks.begin(), table.top_ks.end(), top_k);
+  if (it == table.top_ks.begin()) return table.accuracies.front();
+  if (it == table.top_ks.end()) return table.accuracies.back();
+  const std::size_t hi = static_cast<std::size_t>(it - table.top_ks.begin());
+  if (table.top_ks[hi] == top_k) return table.accuracies[hi];
+  const std::size_t lo = hi - 1;
+  const double t = static_cast<double>(top_k - table.top_ks[lo]) /
+                   static_cast<double>(table.top_ks[hi] - table.top_ks[lo]);
+  return table.accuracies[lo] +
+         t * (table.accuracies[hi] - table.accuracies[lo]);
 }
 
 }  // namespace latte

@@ -37,4 +37,34 @@ double RetainedSoftmaxMass(
     const MatrixF& q, const MatrixF& k,
     const std::vector<std::vector<std::uint32_t>>& candidates);
 
+/// top_k -> expected accuracy lookup table, sampled from the fidelity
+/// model.  This is what grounds the adaptive serving layer's per-tier
+/// accuracy numbers (adapt/controller.hpp) in the paper's Fig 6 mechanism
+/// instead of hand-waved constants.
+struct TierAccuracyTable {
+  std::vector<std::size_t> top_ks;   ///< strictly increasing
+  std::vector<double> accuracies;    ///< mean output cosine per top_k
+};
+
+/// Sampling knobs for BuildTopKAccuracyTable.
+struct TierAccuracyTableConfig {
+  AttentionWorkloadConfig workload;  ///< concentration (WorkloadForDataset)
+  /// Sequence lengths sampled per top_k (the serving regime's range).
+  std::vector<std::size_t> lengths = {224, 288, 352, 384};
+  std::size_t samples_per_length = 3;
+  std::uint64_t seed = 42;  ///< problem generation; deterministic table
+};
+
+/// Builds the lookup table: for each top_k, the mean output cosine of
+/// sparse vs dense attention over the sampled problems.  `top_ks` may be
+/// in any order; the table is returned sorted ascending.  Deterministic in
+/// the config seed.
+TierAccuracyTable BuildTopKAccuracyTable(const TierAccuracyTableConfig& cfg,
+                                         std::vector<std::size_t> top_ks);
+
+/// Expected accuracy at `top_k`: exact when tabulated, linearly
+/// interpolated between neighbors, clamped at the ends.  Throws
+/// std::invalid_argument on an empty table.
+double AccuracyForTopK(const TierAccuracyTable& table, std::size_t top_k);
+
 }  // namespace latte

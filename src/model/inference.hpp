@@ -69,6 +69,11 @@ class ModelInstance {
   const ModelConfig& config() const { return cfg_; }
   std::size_t layer_count() const { return layers_.size(); }
 
+  /// Materialized float weights of layer `i` (bounds-checked).  The
+  /// adaptive layer's escalation probe reads layer 0's Q/K projections to
+  /// score candidate-selector margins without running a forward pass.
+  const EncoderWeights& layer(std::size_t i) const { return layers_.at(i); }
+
  private:
   ModelConfig cfg_;
   std::vector<EncoderWeights> layers_;

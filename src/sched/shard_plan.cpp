@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace latte {
 namespace {
@@ -50,15 +51,23 @@ std::vector<ShardRange> BalancedRanges(std::size_t total, std::size_t parts) {
   return ranges;
 }
 
-ShardPlan MakeShardPlan(const EncoderConfig& enc, const ShardPlanConfig& cfg) {
-  ValidateShardPlanConfig(cfg);
+ConfigIssues CheckShardPlanShape(const EncoderConfig& enc,
+                                 const ShardPlanConfig& cfg) {
+  ConfigIssues issues = CheckShardPlanConfig(cfg);
   if (enc.heads == 0) {
-    throw std::invalid_argument("MakeShardPlan: encoder has zero heads");
+    AddIssue(issues, "encoder.heads",
+             "must be >= 1 (a plan partitions attention across heads)");
+  } else if (enc.hidden % enc.heads != 0) {
+    AddIssue(issues, "encoder.hidden",
+             "must be divisible by the head count (" +
+                 std::to_string(enc.heads) +
+                 "): heads own equal hidden slices");
   }
-  if (enc.hidden % enc.heads != 0) {
-    throw std::invalid_argument(
-        "MakeShardPlan: head count must divide hidden size");
-  }
+  return issues;
+}
+
+ShardPlan MakeShardPlan(const EncoderConfig& enc, const ShardPlanConfig& cfg) {
+  ThrowOnIssues("MakeShardPlan", CheckShardPlanShape(enc, cfg));
   ShardPlan plan;
   plan.shards = cfg.shards;
   plan.row_parallel_ffn2 = cfg.row_parallel_ffn2;

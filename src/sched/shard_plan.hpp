@@ -62,6 +62,12 @@ ConfigIssues CheckShardPlanConfig(const ShardPlanConfig& cfg);
 /// (zero shards).
 void ValidateShardPlanConfig(const ShardPlanConfig& cfg);
 
+/// CheckShardPlanConfig plus the encoder shape a plan must partition:
+/// "encoder.heads" must be >= 1 and "encoder.hidden" divisible by it.
+/// This is the full non-throwing test of what MakeShardPlan enforces.
+ConfigIssues CheckShardPlanShape(const EncoderConfig& enc,
+                                 const ShardPlanConfig& cfg);
+
 /// Splits `total` indices into `parts` contiguous balanced ranges: the
 /// first total % parts ranges get one extra element.  Ranges beyond
 /// `total` are empty.
@@ -83,9 +89,9 @@ struct ShardPlan {
 };
 
 /// Builds the balanced plan for `cfg.shards` shards of one encoder layer.
-/// Validates the plan against the layer shape: throws std::invalid_argument
-/// when the configuration is malformed or the encoder has zero heads /
-/// a hidden size the head count does not divide.
+/// Validates via CheckShardPlanShape and throws std::invalid_argument
+/// naming every illegal field when the configuration is malformed or the
+/// encoder has zero heads / a hidden size the head count does not divide.
 ShardPlan MakeShardPlan(const EncoderConfig& enc, const ShardPlanConfig& cfg);
 
 /// FLOP weights of one layer under a plan, split into per-shard and

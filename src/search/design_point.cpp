@@ -25,7 +25,8 @@ RouterPolicy RouterPolicyFromName(const std::string& name) {
                        RouterPolicy::kLeastOutstandingTokens,
                        RouterPolicy::kLengthBucketed,
                        RouterPolicy::kKeyAffinity,
-                       RouterPolicy::kLongToSharded},
+                       RouterPolicy::kLongToSharded,
+                       RouterPolicy::kLeastDegraded},
                       RouterPolicyName, "router policy");
 }
 
@@ -89,11 +90,30 @@ ConfigIssues CheckDesignPoint(const DesignPoint& dp) {
       MergePrefixed(issues, prefix + ".shard",
                     CheckShardServiceConfig(rd.shard));
     }
+    if (rd.adapt.enabled) {
+      MergePrefixed(issues, prefix + ".adapt",
+                    CheckAdaptiveServingConfig(rd.adapt));
+      if (!rd.adapt.tiers.empty() && rd.adapt.tiers[0].top_k != rd.top_k) {
+        AddIssue(issues, prefix + ".adapt.tiers[0].top_k",
+                 "must equal the replica's top_k (" +
+                     std::to_string(rd.top_k) +
+                     "): tier 0 is the full-quality service");
+      }
+    }
   }
   MergePrefixed(issues, "router",
                 CheckRouterConfig(dp.router, dp.replicas.size()));
   if (dp.cache_mode != ClusterCacheMode::kNone) {
     MergePrefixed(issues, "cache", CheckResultCacheConfig(dp.cache));
+    for (std::size_t i = 0; i < dp.replicas.size(); ++i) {
+      if (dp.replicas[i].adapt.enabled) {
+        AddIssue(issues,
+                 "replicas[" + std::to_string(i) + "].adapt.enabled",
+                 "conflicts with the fleet cache (the engine forbids "
+                 "cache + adaptive); drop the cache or this replica's "
+                 "adaptive layer");
+      }
+    }
   }
   return issues;
 }
@@ -106,6 +126,7 @@ ServingEngineConfig EngineConfigFromDesignPoint(const ReplicaDesign& rd) {
   cfg.inference.sparse.top_k = rd.top_k;
   cfg.backend = rd.backend;
   cfg.shard = rd.shard;
+  cfg.adapt = rd.adapt;
   return cfg;
 }
 
@@ -147,6 +168,28 @@ void WriteDesignPointJson(bench::JsonWriter& json, const DesignPoint& dp) {
     json.Key("dram_spill_bytes").Value(rd.shard.interconnect.dram_spill_bytes);
     json.Key("dram_bytes_per_s").ValueExact(rd.shard.interconnect.dram_bytes_per_s);
     json.EndObject();
+    json.EndObject();
+    json.Key("adapt").BeginObject();
+    json.Key("enabled").Value(rd.adapt.enabled);
+    json.Key("slo_p99_s").ValueExact(rd.adapt.slo_p99_s);
+    json.Key("accuracy_floor").ValueExact(rd.adapt.accuracy_floor);
+    json.Key("epoch_s").ValueExact(rd.adapt.epoch_s);
+    json.Key("low_band").ValueExact(rd.adapt.low_band);
+    json.Key("high_band").ValueExact(rd.adapt.high_band);
+    json.Key("queue_ref").Value(rd.adapt.queue_ref);
+    json.Key("latency_window").Value(rd.adapt.latency_window);
+    json.Key("escalate_margin").ValueExact(rd.adapt.escalate_margin);
+    json.Key("escalate_bits").Value(static_cast<std::size_t>(rd.adapt.escalate_bits));
+    json.Key("escalate_rows").Value(rd.adapt.escalate_rows);
+    json.Key("tiers").BeginArray();
+    for (const ServiceTier& tier : rd.adapt.tiers) {
+      json.BeginObject();
+      json.Key("top_k").Value(tier.top_k);
+      json.Key("escalate").Value(tier.escalate);
+      json.Key("accuracy").ValueExact(tier.accuracy);
+      json.EndObject();
+    }
+    json.EndArray();
     json.EndObject();
     json.EndObject();
   }
@@ -214,6 +257,35 @@ DesignPoint DesignPointFromJsonValue(const JsonValue& v) {
         iv.Get("dram_spill_bytes").AsSize("interconnect.dram_spill_bytes");
     rd.shard.interconnect.dram_bytes_per_s =
         iv.Get("dram_bytes_per_s").AsNumber("interconnect.dram_bytes_per_s");
+    const JsonValue& av = rv.Get("adapt");
+    rd.adapt.enabled = av.Get("enabled").AsBool("adapt.enabled");
+    rd.adapt.slo_p99_s = av.Get("slo_p99_s").AsNumber("adapt.slo_p99_s");
+    rd.adapt.accuracy_floor =
+        av.Get("accuracy_floor").AsNumber("adapt.accuracy_floor");
+    rd.adapt.epoch_s = av.Get("epoch_s").AsNumber("adapt.epoch_s");
+    rd.adapt.low_band = av.Get("low_band").AsNumber("adapt.low_band");
+    rd.adapt.high_band = av.Get("high_band").AsNumber("adapt.high_band");
+    rd.adapt.queue_ref = av.Get("queue_ref").AsSize("adapt.queue_ref");
+    rd.adapt.latency_window =
+        av.Get("latency_window").AsSize("adapt.latency_window");
+    rd.adapt.escalate_margin =
+        av.Get("escalate_margin").AsNumber("adapt.escalate_margin");
+    rd.adapt.escalate_bits = static_cast<int>(
+        av.Get("escalate_bits").AsSize("adapt.escalate_bits"));
+    rd.adapt.escalate_rows =
+        av.Get("escalate_rows").AsSize("adapt.escalate_rows");
+    const JsonValue& tiers = av.Get("tiers");
+    if (tiers.kind != JsonValue::Kind::kArray) {
+      throw std::invalid_argument(
+          "DesignPoint: adapt.tiers must be an array");
+    }
+    for (const JsonValue& tv : tiers.array) {
+      ServiceTier tier;
+      tier.top_k = tv.Get("top_k").AsSize("adapt.tiers[].top_k");
+      tier.escalate = tv.Get("escalate").AsBool("adapt.tiers[].escalate");
+      tier.accuracy = tv.Get("accuracy").AsNumber("adapt.tiers[].accuracy");
+      rd.adapt.tiers.push_back(tier);
+    }
     dp.replicas.push_back(rd);
   }
   const JsonValue& router = v.Get("router");

@@ -50,6 +50,9 @@ struct ReplicaDesign {
                                    ///< replica's accelerator
   BackendMode backend = BackendMode::kReplicated;
   ShardServiceConfig shard;  ///< gang shape; read when backend == kSharded
+  /// SLO-driven degradation controller; when enabled, tiers[0].top_k must
+  /// equal `top_k` (tier 0 is the full-quality service).
+  AdaptiveServingConfig adapt;
 };
 
 /// The full deployment: fleet, router, fleet cache.

@@ -50,6 +50,30 @@ ShardServiceConfig CanonicalShard(const DesignSpace& space) {
 /// Canonical store knobs for cache_mode == kNone.
 ResultCacheConfig NoCache() { return ResultCacheConfig{}; }
 
+/// Field-exact comparison of two adaptive blocks (CheckInSpace accepts
+/// only the canonical ladder, so equality is the membership test).
+bool SameAdaptive(const AdaptiveServingConfig& a,
+                  const AdaptiveServingConfig& b) {
+  if (a.enabled != b.enabled || a.tiers.size() != b.tiers.size()) {
+    return false;
+  }
+  for (std::size_t t = 0; t < a.tiers.size(); ++t) {
+    if (a.tiers[t].top_k != b.tiers[t].top_k ||
+        a.tiers[t].escalate != b.tiers[t].escalate ||
+        a.tiers[t].accuracy != b.tiers[t].accuracy) {
+      return false;
+    }
+  }
+  return a.slo_p99_s == b.slo_p99_s &&
+         a.accuracy_floor == b.accuracy_floor && a.epoch_s == b.epoch_s &&
+         a.low_band == b.low_band && a.high_band == b.high_band &&
+         a.queue_ref == b.queue_ref &&
+         a.latency_window == b.latency_window &&
+         a.escalate_margin == b.escalate_margin &&
+         a.escalate_bits == b.escalate_bits &&
+         a.escalate_rows == b.escalate_rows;
+}
+
 ReplicaDesign SampleReplica(const DesignSpace& space, Rng& rng) {
   ReplicaDesign rd;
   rd.former.max_batch = Pick(space.max_batch_menu, rng);
@@ -65,6 +89,12 @@ ReplicaDesign SampleReplica(const DesignSpace& space, Rng& rng) {
   if (rng.NextIndex(4) == 0) {
     rd.backend = BackendMode::kSharded;
     rd.shard.degree = Pick(space.degree_menu, rng);
+  }
+  // Likewise a quarter start with the adaptive layer on (mutation can
+  // toggle it either way later).
+  if (!space.adapt_slo_menu.empty() && rng.NextIndex(4) == 0) {
+    rd.adapt =
+        CanonicalAdaptiveLadder(rd.top_k, Pick(space.adapt_slo_menu, rng));
   }
   return rd;
 }
@@ -124,9 +154,10 @@ void RepairBudget(const DesignSpace& space, DesignPoint& dp) {
   }
 }
 
-void MutateReplicaKnob(const DesignSpace& space, ReplicaDesign& rd,
-                       Rng& rng) {
-  switch (rng.NextIndex(9)) {
+void MutateReplicaKnob(const DesignSpace& space, DesignPoint& dp,
+                       std::size_t which, Rng& rng) {
+  ReplicaDesign& rd = dp.replicas[which];
+  switch (rng.NextIndex(10)) {
     case 0:
       rd.former.max_batch =
           Neighbor(space.max_batch_menu, rd.former.max_batch, rng);
@@ -150,6 +181,11 @@ void MutateReplicaKnob(const DesignSpace& space, ReplicaDesign& rd,
       break;
     case 6:
       rd.top_k = Neighbor(space.top_k_menu, rd.top_k, rng);
+      // Tier 0 is the full-quality service and must track top_k, so an
+      // enabled ladder is re-derived (same SLO) rather than invalidated.
+      if (rd.adapt.enabled) {
+        rd.adapt = CanonicalAdaptiveLadder(rd.top_k, rd.adapt.slo_p99_s);
+      }
       break;
     case 7:
       // Backend flip: gangs enter with a drawn degree, leave canonical.
@@ -171,6 +207,24 @@ void MutateReplicaKnob(const DesignSpace& space, ReplicaDesign& rd,
         rd.shard.degree = Pick(space.degree_menu, rng);
       }
       break;
+    case 9:
+      // Adaptive toggle: enabling installs the canonical ladder with a
+      // freshly drawn SLO; disabling restores the default-constructed
+      // block so designs stay canonical (an unread adapt block would
+      // make otherwise-equal designs distinct JSON).  The engine forbids
+      // cache + adaptive, so enabling the layer also drops the fleet
+      // cache (the reverse cache move drops the adapt blocks) -- without
+      // the coupling one side of the conflict would be unreachable from
+      // the other.
+      if (rd.adapt.enabled || space.adapt_slo_menu.empty()) {
+        rd.adapt = AdaptiveServingConfig{};
+      } else {
+        rd.adapt = CanonicalAdaptiveLadder(rd.top_k,
+                                           Pick(space.adapt_slo_menu, rng));
+        dp.cache_mode = ClusterCacheMode::kNone;
+        dp.cache = NoCache();
+      }
+      break;
   }
 }
 
@@ -182,6 +236,13 @@ void MutateCache(const DesignSpace& space, DesignPoint& dp, Rng& rng) {
       dp.cache = NoCache();
     } else if (!had_store) {
       SampleCacheStore(space, dp, rng);
+    }
+    if (dp.cache_mode != ClusterCacheMode::kNone) {
+      // Cache + adaptive is forbidden; turning the store on evicts the
+      // adapt blocks (mirrors the adaptive toggle dropping the cache).
+      for (ReplicaDesign& rd : dp.replicas) {
+        rd.adapt = AdaptiveServingConfig{};
+      }
     }
     return;
   }
@@ -206,6 +267,20 @@ std::size_t BackendSlots(const DesignPoint& dp) {
   std::size_t slots = 0;
   for (const ReplicaDesign& rd : dp.replicas) slots += ReplicaSlots(rd);
   return slots;
+}
+
+AdaptiveServingConfig CanonicalAdaptiveLadder(std::size_t top_k,
+                                              double slo_p99_s) {
+  AdaptiveServingConfig adapt;
+  adapt.enabled = true;
+  adapt.slo_p99_s = slo_p99_s;
+  adapt.tiers.resize(3);
+  adapt.tiers[0] = ServiceTier{top_k, false, 1.0};
+  adapt.tiers[1] =
+      ServiceTier{std::max<std::size_t>(top_k / 2, 2), false, 0.97};
+  adapt.tiers[2] =
+      ServiceTier{std::max<std::size_t>(top_k / 4, 1), true, 0.9};
+  return adapt;
 }
 
 ConfigIssues CheckInSpace(const DesignSpace& space, const DesignPoint& dp) {
@@ -248,6 +323,17 @@ ConfigIssues CheckInSpace(const DesignSpace& space, const DesignPoint& dp) {
     if (rd.backend == BackendMode::kSharded &&
         !Contains(space.degree_menu, rd.shard.degree)) {
       AddIssue(issues, prefix + ".shard.degree", "is not on the menu");
+    }
+    if (rd.adapt.enabled) {
+      if (!Contains(space.adapt_slo_menu, rd.adapt.slo_p99_s)) {
+        AddIssue(issues, prefix + ".adapt.slo_p99_s", "is not on the menu");
+      }
+      if (!SameAdaptive(rd.adapt, CanonicalAdaptiveLadder(
+                                      rd.top_k, rd.adapt.slo_p99_s))) {
+        AddIssue(issues, prefix + ".adapt",
+                 "is not the canonical ladder for this top_k (the space "
+                 "tunes only the enabled bit and the SLO)");
+      }
     }
   }
   if (!Contains(space.policy_menu, dp.router.policy)) {
@@ -292,6 +378,10 @@ DesignPoint SampleDesign(const DesignSpace& space, Rng& rng) {
   dp.cache_mode = Pick(space.cache_mode_menu, rng);
   if (dp.cache_mode != ClusterCacheMode::kNone) {
     SampleCacheStore(space, dp, rng);
+    // The engine forbids cache + adaptive on one replica; the sample
+    // keeps the drawn store and drops the adaptive layers so it always
+    // passes CheckInSpace (mutation can reintroduce either side).
+    for (ReplicaDesign& rd : dp.replicas) rd.adapt = AdaptiveServingConfig{};
   } else {
     dp.cache = NoCache();
   }
@@ -333,9 +423,7 @@ DesignPoint MutateDesign(const DesignSpace& space, const DesignPoint& dp,
   // Knob move (cases 2-5, and the fallback when a fleet move was not
   // applicable at the current size).
   if (!next.replicas.empty()) {
-    MutateReplicaKnob(space,
-                      next.replicas[rng.NextIndex(next.replicas.size())],
-                      rng);
+    MutateReplicaKnob(space, next, rng.NextIndex(next.replicas.size()), rng);
   }
   return next;
 }

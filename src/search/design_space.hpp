@@ -44,12 +44,17 @@ struct DesignSpace {
   std::vector<std::size_t> queue_menu = {0, 64, 256};
   std::vector<std::size_t> top_k_menu = {16, 30, 64};
   std::vector<std::size_t> degree_menu = {2, 4};
+  /// SLO targets the adaptive controller may aim for.  The ladder itself
+  /// is canonical -- CanonicalAdaptiveLadder derived from the replica's
+  /// top_k -- so the space only tunes the enabled bit and the SLO.
+  std::vector<double> adapt_slo_menu = {0.05, 0.1, 0.2};
 
   // Router menus.
   std::vector<RouterPolicy> policy_menu = {
       RouterPolicy::kRoundRobin,          RouterPolicy::kJoinShortestQueue,
       RouterPolicy::kLeastOutstandingTokens, RouterPolicy::kLengthBucketed,
-      RouterPolicy::kKeyAffinity,         RouterPolicy::kLongToSharded};
+      RouterPolicy::kKeyAffinity,         RouterPolicy::kLongToSharded,
+      RouterPolicy::kLeastDegraded};
   std::vector<std::vector<std::size_t>> edges_menu = {{152},
                                                       {105, 152, 219}};
   std::vector<std::size_t> threshold_menu = {128, 192, 256};
@@ -73,6 +78,15 @@ struct DesignSpace {
 /// Total provisioned backend devices of a design: sum over replicas of
 /// workers x (sharded ? degree : 1).
 std::size_t BackendSlots(const DesignPoint& dp);
+
+/// The one adaptive block the space admits for a replica with this
+/// `top_k`: a three-rung ladder (full -> half -> quarter sparsity, the
+/// last rung escalating uncertain results) with fixed accuracy labels and
+/// the default controller bands.  Keeping the ladder canonical keeps the
+/// space enumerable -- a move toggles the block or steps the SLO, never
+/// free-form tier edits.
+AdaptiveServingConfig CanonicalAdaptiveLadder(std::size_t top_k,
+                                              double slo_p99_s);
 
 /// CheckDesignPoint plus the space's own bounds: fleet size range, the
 /// backend-slot budget, and menu membership of every knob.  Empty means

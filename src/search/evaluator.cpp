@@ -4,9 +4,9 @@
 #include <limits>
 
 #include "cluster/cluster.hpp"
-#include "fpga/serving.hpp"
 #include "metrics/energy.hpp"
 #include "search/design_space.hpp"
+#include "serve/service_model.hpp"
 
 namespace latte::search {
 
@@ -78,9 +78,18 @@ DesignScore DesignEvaluator::Evaluate(const DesignPoint& dp) const {
     ServingEngineConfig& engine = ccfg.replicas[i].engine;
     engine.execute = false;  // accounting-only twin: the SA oracle
     engine.threads = 1;
-    AcceleratorConfig accel = cfg_.accel;
-    accel.top_k = dp.replicas[i].top_k;
-    engine.service = AcceleratorServiceModel(cfg_.model, accel);
+    ServiceModelSpec spec;
+    spec.base = ServiceModelSpec::Base::kAccelerator;
+    spec.model = cfg_.model;
+    spec.accel = cfg_.accel;
+    spec.accel.top_k = dp.replicas[i].top_k;
+    engine.service = BuildServiceModel(spec);
+    // An adaptive replica prices each ladder rung at its own sparsity
+    // (the engine falls back to flat tier pricing otherwise, which would
+    // make degradation latency-neutral and the knob a no-op to the SA).
+    if (engine.adapt.enabled) {
+      engine.tier_services = BuildTierServiceModels(spec, engine.adapt.tiers);
+    }
   }
 
   ServingCluster cluster(model_, ccfg);

@@ -57,6 +57,9 @@ struct FormedBatch {
   double ready_s = 0;                ///< when the batch was sealed
   std::size_t tokens = 0;            ///< sum of member lengths
   BatchSeal seal = BatchSeal::kTimeout;
+  /// Service tier the batch was formed under (adapt/controller ladder
+  /// index).  0 -- the full model -- for every non-adaptive former.
+  std::size_t tier = 0;
 };
 
 /// Forms batches over an arrival-ordered trace.  Every request lands in

@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "adapt/escalate.hpp"
 #include "workload/synthetic.hpp"
 
 namespace latte {
@@ -51,6 +52,32 @@ ConfigIssues CheckServingEngineConfig(const ServingEngineConfig& cfg) {
   if (cfg.backend == BackendMode::kSharded) {
     MergePrefixed(issues, "shard", CheckShardServiceConfig(cfg.shard));
   }
+  if (cfg.adapt.enabled) {
+    MergePrefixed(issues, "adapt", CheckAdaptiveServingConfig(cfg.adapt));
+    if (cfg.cache.enabled) {
+      AddIssue(issues, "adapt.enabled",
+               "cannot combine the adaptive layer with the result cache "
+               "(a cached result's tier is unknowable; pick one)");
+    }
+    if (!cfg.adapt.tiers.empty() &&
+        cfg.inference.mode != InferenceMode::kDenseFloat &&
+        cfg.inference.mode != InferenceMode::kDenseInt8 &&
+        cfg.adapt.tiers[0].top_k != cfg.inference.sparse.top_k) {
+      AddIssue(issues, "adapt.tiers[0].top_k",
+               "must equal inference.sparse.top_k (" +
+                   std::to_string(cfg.inference.sparse.top_k) +
+                   ") -- tier 0 is the full-quality service, and escalated "
+                   "re-runs must be bit-exact against it");
+    }
+    if (!cfg.tier_services.empty() &&
+        cfg.tier_services.size() != cfg.adapt.tiers.size()) {
+      AddIssue(issues, "tier_services",
+               "must be empty (uniform pricing) or name one service model "
+               "per adapt tier (got " +
+                   std::to_string(cfg.tier_services.size()) + " for " +
+                   std::to_string(cfg.adapt.tiers.size()) + " tiers)");
+    }
+  }
   return issues;
 }
 
@@ -65,8 +92,17 @@ ServingEngine::ServingEngine(const ModelInstance& model,
   ValidateServingEngineConfig(cfg_);
   if (!cfg_.service) {
     // ~0.5 M tokens/s plus a fixed dispatch cost: a plausible host-side
-    // default; pass AcceleratorServiceModel to account like the simulator.
+    // default; build a kAccelerator ServiceModelSpec to account like the
+    // simulator.
     cfg_.service = TokenLinearServiceModel(2e-6, 2e-4);
+  }
+  if (cfg_.adapt.enabled) {
+    // Resolve the per-tier pricing before any sharded wrapping so every
+    // tier is wrapped exactly once below.
+    tier_services_ = cfg_.tier_services.empty()
+                         ? std::vector<BatchServiceModel>(
+                               cfg_.adapt.tiers.size(), cfg_.service)
+                         : cfg_.tier_services;
   }
   if (cfg_.backend == BackendMode::kSharded) {
     // Each worker slot is a gang: wrap whatever service model was chosen
@@ -75,6 +111,17 @@ ServingEngine::ServingEngine(const ModelInstance& model,
     // model's encoder shape.
     cfg_.service =
         MakeShardedServiceModel(cfg_.service, model.config(), cfg_.shard);
+    for (BatchServiceModel& tier_service : tier_services_) {
+      tier_service = MakeShardedServiceModel(std::move(tier_service),
+                                             model.config(), cfg_.shard);
+    }
+  }
+  if (cfg_.adapt.enabled) {
+    controller_.emplace(cfg_.adapt);
+    open_tiers_.resize(cfg_.adapt.tiers.size());
+    tier_requests_.assign(cfg_.adapt.tiers.size(), 0);
+    tier_batches_.assign(cfg_.adapt.tiers.size(), 0);
+    tier_escalated_.assign(cfg_.adapt.tiers.size(), 0);
   }
   if (shared_cache != nullptr) {
     if (!cfg_.cache.enabled) {
@@ -91,20 +138,19 @@ ServingEngine::ServingEngine(const ModelInstance& model,
   worker_free_.assign(cfg_.workers, 0.0);
 }
 
-bool ServingEngine::Push(const TimedRequest& request) {
-  return PushImpl(request, MatrixF{});
-}
-
-bool ServingEngine::Push(const TimedRequest& request, MatrixF input) {
-  if (input.rows() != request.length ||
-      input.cols() != model_.config().encoder.hidden) {
+bool ServingEngine::Push(const TimedRequest& request,
+                         std::optional<MatrixF> input) {
+  if (!input.has_value()) return PushImpl(request, MatrixF{});
+  if (input->rows() != request.length ||
+      input->cols() != model_.config().encoder.hidden) {
     throw std::invalid_argument(
         "ServingEngine::Push: input must be length x hidden (" +
         std::to_string(request.length) + " x " +
         std::to_string(model_.config().encoder.hidden) + "), got " +
-        std::to_string(input.rows()) + " x " + std::to_string(input.cols()));
+        std::to_string(input->rows()) + " x " +
+        std::to_string(input->cols()));
   }
-  return PushImpl(request, std::move(input));
+  return PushImpl(request, std::move(*input));
 }
 
 CacheKey ServingEngine::KeyFor(const TimedRequest& request,
@@ -138,6 +184,10 @@ bool ServingEngine::PushImpl(const TimedRequest& request, MatrixF input) {
   last_arrival_ = request.arrival_s;
 
   AdvanceTo(request.arrival_s);
+
+  if (controller_) {
+    return PushAdaptive(request, std::move(input), ordinal);
+  }
 
   CacheKey key = kNullCacheKey;
   if (cache_ != nullptr) {
@@ -217,7 +267,201 @@ bool ServingEngine::PushImpl(const TimedRequest& request, MatrixF input) {
   return true;
 }
 
+bool ServingEngine::PushAdaptive(const TimedRequest& request, MatrixF input,
+                                 std::size_t ordinal) {
+  const auto& tiers = cfg_.adapt.tiers;
+  // The controller proposes its current level; the accuracy budget caps
+  // it: degrade only while the planned stream mean stays at the floor.
+  std::size_t tier = std::min(controller_->level(), tiers.size() - 1);
+  while (tier > 0 &&
+         planned_acc_sum_ + tiers[tier].accuracy <
+             cfg_.adapt.accuracy_floor *
+                 static_cast<double>(planned_count_ + 1)) {
+    --tier;
+  }
+  const std::size_t waiting = admitted_.size() - launched_;
+  if (cfg_.queue_capacity > 0 && waiting >= cfg_.queue_capacity) {
+    ++admission_.rejected;  // shed: the ladder's last resort
+    return false;
+  }
+  bool escalate = false;
+  if (tiers[tier].escalate) {
+    // Probe on the exact embedding Drain() would execute (provided, or
+    // synthesized from request identity), so accounting-only and execute
+    // runs of the same stream make identical escalation decisions.
+    const std::size_t hidden = model_.config().encoder.hidden;
+    MatrixF synth;
+    const MatrixF* x = &input;
+    if (input.empty()) {
+      synth = request.id != kAnonymousId
+                  ? SynthesizeIdentityEmbedding(cfg_.embed_seed, request.id,
+                                                request.length, hidden)
+                  : SynthesizeRequestEmbedding(cfg_.embed_seed, ordinal,
+                                               request.length, hidden);
+      x = &synth;
+    }
+    const EscalationProbe probe =
+        ProbeSelectorMargin(*x, model_, tiers[tier].top_k,
+                            cfg_.adapt.escalate_bits, cfg_.adapt.escalate_rows);
+    escalate = ShouldEscalate(probe, cfg_.adapt.escalate_margin);
+  }
+  ++admission_.accepted;
+  admission_.peak_queue = std::max(admission_.peak_queue, waiting + 1);
+  planned_acc_sum_ += tiers[tier].accuracy;
+  ++planned_count_;
+  AdmitToTier(tier, request, std::move(input), ordinal, request.arrival_s,
+              escalate);
+  return true;
+}
+
+void ServingEngine::AdmitToTier(std::size_t tier, const TimedRequest& request,
+                                MatrixF input, std::size_t ordinal,
+                                double root_arrival, bool escalate) {
+  OpenTier& ot = open_tiers_[tier];
+  // Forming mirrors the single-tier path, per tier: token-budget overflow
+  // seals at this admission and the request starts the tier's next batch.
+  if (ot.active && cfg_.former.max_tokens > 0 &&
+      ot.tokens + request.length > cfg_.former.max_tokens) {
+    SealOpenTier(tier, BatchSeal::kTokenBudget, request.arrival_s);
+  }
+  if (!ot.active) {
+    ot.active = true;
+    ot.open_s = request.arrival_s;
+    ot.tokens = 0;
+    ot.members.clear();
+  }
+  admitted_.push_back(request);
+  inputs_.push_back(std::move(input));
+  offered_ids_.push_back(ordinal);
+  tier_of_.push_back(tier);
+  root_arrival_.push_back(root_arrival);
+  superseded_.push_back(0);
+  escalate_flag_.push_back(escalate ? 1 : 0);
+  waiting_tokens_ += request.length;
+  ot.members.push_back(admitted_.size() - 1);
+  ot.tokens += request.length;
+  if (ot.members.size() >= cfg_.former.max_batch) {
+    SealOpenTier(tier, BatchSeal::kCapacity, request.arrival_s);
+  }
+}
+
+void ServingEngine::SealOpenTier(std::size_t tier, BatchSeal seal,
+                                 double ready_s) {
+  OpenTier& ot = open_tiers_[tier];
+  FormedBatch b;
+  b.open_s = ot.open_s;
+  b.ready_s = ready_s;
+  b.tokens = ot.tokens;
+  b.seal = seal;
+  b.tier = tier;
+  b.indices = std::move(ot.members);
+  if (cfg_.former.sort_by_length) {
+    std::stable_sort(b.indices.begin(), b.indices.end(),
+                     [this](std::size_t a, std::size_t c) {
+                       return admitted_[a].length > admitted_[c].length;
+                     });
+  }
+  sealed_.push_back(std::move(b));
+  ++tier_batches_[tier];
+  ot.active = false;
+  ot.members = {};
+}
+
+void ServingEngine::RunAdaptiveEvents(double now, bool drain) {
+  const double kInf = std::numeric_limits<double>::infinity();
+  while (true) {
+    // Candidate events, each with its earliest instance.
+    auto complete_it = std::min_element(completions_.begin(),
+                                        completions_.end());
+    const double t_complete =
+        complete_it == completions_.end() ? kInf : complete_it->first;
+    double t_seal = kInf;
+    std::size_t seal_tier = 0;
+    for (std::size_t t = 0; t < open_tiers_.size(); ++t) {
+      if (!open_tiers_[t].active) continue;
+      const double due = open_tiers_[t].open_s + cfg_.former.timeout_s;
+      if (due < t_seal) {
+        t_seal = due;
+        seal_tier = t;
+      }
+    }
+    double t_launch = kInf;
+    if (next_launch_ < sealed_.size()) {
+      const double free =
+          *std::min_element(worker_free_.begin(), worker_free_.end());
+      t_launch = std::max(free, sealed_[next_launch_].ready_s);
+    }
+    const double t_epoch = controller_->next_epoch_s();
+
+    const double t_real = std::min(t_complete, std::min(t_seal, t_launch));
+    const double t_next = std::min(t_real, t_epoch);
+    if (drain) {
+      // Quiescence: once no completion/seal/launch remains, only epoch
+      // boundaries are left and the stream is over.
+      if (t_real == kInf) break;
+    } else if (t_next > now) {
+      break;
+    }
+
+    // One event per iteration, fixed tie-break: completions first (an
+    // escalated re-run must be able to join a batch sealing at the same
+    // instant), then seals (lowest tier first), launches, epochs.
+    if (t_complete == t_next) {
+      const std::size_t ordinal = complete_it->second;
+      completions_.erase(complete_it);
+      // Copy out: escalation re-injection below grows sealed_/admitted_.
+      const std::size_t b_tier = sealed_[ordinal].tier;
+      const std::size_t b_tokens = sealed_[ordinal].tokens;
+      const std::vector<std::size_t> b_indices = sealed_[ordinal].indices;
+      in_service_tokens_ -= b_tokens;
+      const bool escalating_tier = cfg_.adapt.tiers[b_tier].escalate;
+      for (std::size_t idx : b_indices) {
+        if (escalating_tier && escalate_flag_[idx] != 0) {
+          // The cheap first pass was too uncertain: supersede it and
+          // re-run at tier 0, arriving at this completion.  Bypasses the
+          // bounded queue -- the request was already admitted once.
+          superseded_[idx] = 1;
+          planned_acc_sum_ +=
+              cfg_.adapt.tiers[0].accuracy - cfg_.adapt.tiers[b_tier].accuracy;
+          ++tier_escalated_[b_tier];
+          TimedRequest rerun = admitted_[idx];
+          rerun.arrival_s = t_complete;
+          AdmitToTier(0, rerun, MatrixF(inputs_[idx]), offered_ids_[idx],
+                      root_arrival_[idx], false);
+        } else {
+          controller_->RecordLatency(t_complete - root_arrival_[idx]);
+          ++tier_requests_[b_tier];
+        }
+      }
+    } else if (t_seal == t_next) {
+      SealOpenTier(seal_tier, BatchSeal::kTimeout, t_seal);
+    } else if (t_launch == t_next) {
+      // FIFO over sealed order, earliest-free worker: the exact
+      // recurrence ScheduleFormedBatches replays at Drain(), so the
+      // incremental completions match the recomputed schedule bit for
+      // bit.
+      auto free_it =
+          std::min_element(worker_free_.begin(), worker_free_.end());
+      const FormedBatch& b = sealed_[next_launch_];
+      const double done =
+          t_launch + tier_services_[b.tier](BatchLengths(admitted_, b));
+      *free_it = done;
+      launched_ += b.indices.size();
+      waiting_tokens_ -= b.tokens;
+      in_service_tokens_ += b.tokens;
+      completions_.push_back({done, next_launch_});
+      ++next_launch_;
+    } else {
+      controller_->AdvanceEpoch(admitted_.size() - launched_);
+    }
+  }
+}
+
 void ServingEngine::AdvanceTo(double now) {
+  if (controller_) {
+    RunAdaptiveEvents(now, /*drain=*/false);
+    return;
+  }
   if (open_active_ && now > open_s_ + cfg_.former.timeout_s) {
     SealOpen(BatchSeal::kTimeout, open_s_ + cfg_.former.timeout_s);
   }
@@ -334,7 +578,96 @@ void ServingEngine::SealOpen(BatchSeal seal, double ready_s) {
   open_active_ = false;
 }
 
+ServingResult ServingEngine::DrainAdaptive() {
+  // Run the stream to quiescence: trailing opens time out, launches
+  // complete, escalations re-inject and settle.
+  RunAdaptiveEvents(std::numeric_limits<double>::infinity(), /*drain=*/true);
+
+  ServingResult result;
+  result.schedule =
+      ScheduleFormedBatches(admitted_, sealed_, cfg_.workers, tier_services_);
+  result.admission = admission_;
+
+  // The recomputed report must not count superseded first passes (their
+  // re-runs carry the request), and an escalated request's latency runs
+  // from its *original* arrival to its re-run's completion.  Rebuild the
+  // pooled numbers from root arrivals.
+  std::vector<double> latencies;
+  latencies.reserve(admitted_.size());
+  double first_arrival = std::numeric_limits<double>::infinity();
+  double last_done = 0;
+  double busy_s = 0;
+  for (std::size_t b = 0; b < sealed_.size(); ++b) {
+    const double done = result.schedule.done_s[b];
+    for (std::size_t idx : sealed_[b].indices) {
+      if (superseded_[idx] != 0) continue;
+      latencies.push_back(done - root_arrival_[idx]);
+      first_arrival = std::min(first_arrival, root_arrival_[idx]);
+    }
+    last_done = std::max(last_done, done);
+    busy_s += result.schedule.service_s[b];  // first passes burn real time
+  }
+  const double span = latencies.empty() ? 0 : last_done - first_arrival;
+  result.schedule.report = BuildServingReport(latencies, sealed_.size(),
+                                              busy_s, span, cfg_.workers);
+  result.schedule.report.mean_accuracy =
+      planned_count_ == 0
+          ? 1.0
+          : planned_acc_sum_ / static_cast<double>(planned_count_);
+  result.schedule.report.tiers.resize(cfg_.adapt.tiers.size());
+  for (std::size_t t = 0; t < cfg_.adapt.tiers.size(); ++t) {
+    TierUsage& usage = result.schedule.report.tiers[t];
+    usage.top_k = cfg_.adapt.tiers[t].top_k;
+    usage.requests = tier_requests_[t];
+    usage.batches = tier_batches_[t];
+    usage.escalated = tier_escalated_[t];
+    usage.accuracy = cfg_.adapt.tiers[t].accuracy;
+  }
+
+  if (cfg_.execute) {
+    const std::size_t hidden = model_.config().encoder.hidden;
+    for (std::size_t i = 0; i < admitted_.size(); ++i) {
+      if (inputs_[i].empty()) {
+        inputs_[i] =
+            admitted_[i].id != kAnonymousId
+                ? SynthesizeIdentityEmbedding(cfg_.embed_seed, admitted_[i].id,
+                                              admitted_[i].length, hidden)
+                : SynthesizeRequestEmbedding(cfg_.embed_seed, offered_ids_[i],
+                                             admitted_[i].length, hidden);
+      }
+    }
+    // Per-batch execution at the batch's tier: only the sparse top_k
+    // differs from the base inference config, and tier 0's equals it --
+    // so an escalated re-run is bit-exact against a full-model engine
+    // serving the same request.
+    const auto wall0 = std::chrono::steady_clock::now();
+    result.outputs.resize(admitted_.size());
+    for (const FormedBatch& b : sealed_) {
+      InferenceConfig tier_cfg = cfg_.inference;
+      tier_cfg.sparse.top_k = cfg_.adapt.tiers[b.tier].top_k;
+      std::vector<MatrixF> xs;
+      xs.reserve(b.indices.size());
+      for (std::size_t idx : b.indices) xs.push_back(std::move(inputs_[idx]));
+      auto ys = model_.ForwardBatch(xs, tier_cfg, runner_);
+      for (std::size_t i = 0; i < b.indices.size(); ++i) {
+        result.outputs[b.indices[i]] = std::move(ys[i]);
+      }
+    }
+    result.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+            .count();
+  }
+
+  result.request_tiers = std::move(tier_of_);
+  result.superseded = std::move(superseded_);
+  result.batches = std::move(sealed_);
+  result.offered_ids = std::move(offered_ids_);
+  ResetStream();
+  return result;
+}
+
 ServingResult ServingEngine::Drain() {
+  if (controller_) return DrainAdaptive();
   if (open_active_) {
     // End of stream: a streaming former cannot know no more requests are
     // coming, so the trailing batch waits out its timer.
@@ -478,6 +811,20 @@ void ServingEngine::ResetStream() {
   admitted_keys_.clear();
   pending_done_.clear();
   last_completion_ = 0;
+  if (controller_) {
+    controller_->Reset();
+    for (OpenTier& ot : open_tiers_) ot = OpenTier{};
+    tier_of_.clear();
+    root_arrival_.clear();
+    superseded_.clear();
+    escalate_flag_.clear();
+    completions_.clear();
+    planned_acc_sum_ = 0;
+    planned_count_ = 0;
+    tier_requests_.assign(cfg_.adapt.tiers.size(), 0);
+    tier_batches_.assign(cfg_.adapt.tiers.size(), 0);
+    tier_escalated_.assign(cfg_.adapt.tiers.size(), 0);
+  }
 }
 
 }  // namespace latte

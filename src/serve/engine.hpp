@@ -40,8 +40,10 @@
 // back to back.
 
 #include <memory>
+#include <optional>
 #include <utility>
 
+#include "adapt/controller.hpp"
 #include "cache/coalesce.hpp"
 #include "cache/store.hpp"
 #include "config/check.hpp"
@@ -93,6 +95,16 @@ struct ServingEngineConfig {
   /// Gang shape and interconnect cost; read only when backend ==
   /// BackendMode::kSharded.
   ShardServiceConfig shard;
+  /// SLO-driven admission/degradation layer (adapt/controller.hpp).
+  /// Disabled by default; when enabled the engine forms per-tier batches,
+  /// escalates uncertain cheap-tier results to tier 0 and sheds only as a
+  /// last resort.  Incompatible with the result cache.
+  AdaptiveServingConfig adapt;
+  /// Per-tier service models, parallel to `adapt.tiers` (build with
+  /// BuildTierServiceModels, serve/service_model.hpp).  Empty = every tier
+  /// priced by `service` (accounting-neutral degradation; useful in
+  /// tests).  Read only when `adapt.enabled`.
+  std::vector<BatchServiceModel> tier_services;
 };
 
 /// Names every illegal field (nested former/cache/shard issues carry
@@ -163,6 +175,12 @@ struct ServingResult {
   /// pooled into report() alongside the admitted requests'.
   std::vector<CacheServedRequest> cache_served;
   CacheStats cache;   ///< lookup outcomes + store snapshot at Drain()
+  /// Adaptive runs only (empty otherwise), parallel to the admitted
+  /// order: the tier each entry's batch was formed at, and whether the
+  /// entry is a superseded first pass (its escalated re-run at tier 0 is
+  /// a later entry sharing its offered_id).
+  std::vector<std::size_t> request_tiers;
+  std::vector<std::uint8_t> superseded;
   double wall_s = 0;  ///< measured wall-clock of functional execution
 
   /// With the cache enabled this is the *pooled* report: admitted, hit
@@ -187,15 +205,14 @@ class ServingEngine {
   ServingEngine(const ModelInstance& model, const ServingEngineConfig& cfg,
                 std::shared_ptr<ResultCache> shared_cache = nullptr);
 
-  /// Offers a request whose input embedding is synthesized from
-  /// (embed_seed, Push ordinal) -- or from (embed_seed, id) when the
-  /// request carries a content identity.  Returns false when the bounded
-  /// queue rejects it.  Arrivals must be non-decreasing in time.
-  bool Push(const TimedRequest& request);
-
-  /// Offers a request with a caller-provided embedding
-  /// (request.length x hidden).
-  bool Push(const TimedRequest& request, MatrixF input);
+  /// Offers a request.  With an input embedding (request.length x hidden)
+  /// the engine serves that tensor; without one the embedding is
+  /// synthesized from (embed_seed, Push ordinal) -- or from
+  /// (embed_seed, id) when the request carries a content identity.
+  /// Returns false when the bounded queue rejects (adaptive: sheds) it.
+  /// Arrivals must be non-decreasing in time.
+  bool Push(const TimedRequest& request,
+            std::optional<MatrixF> input = std::nullopt);
 
   /// Seals the trailing batch, executes every formed batch on the batched
   /// runtime and returns outputs plus the virtual-time report.  The
@@ -216,6 +233,13 @@ class ServingEngine {
   /// least-outstanding-token routing balances on.
   std::size_t outstanding_tokens() const {
     return waiting_tokens_ + in_service_tokens_;
+  }
+
+  /// Current degradation level of the adaptive controller (0 = full
+  /// quality, and always 0 when the adaptive layer is disabled).  Routers
+  /// use this to prefer less-degraded replicas.
+  std::size_t service_level() const {
+    return controller_ ? controller_->level() : 0;
   }
 
   /// Advances virtual time to `now` without offering a request: seals a
@@ -271,6 +295,21 @@ class ServingEngine {
   void CompleteAdmitted(std::size_t idx, double done_s);
   void ResetStream();
 
+  // Adaptive path (controller_ engaged).
+  bool PushAdaptive(const TimedRequest& request, MatrixF input,
+                    std::size_t ordinal);
+  void AdmitToTier(std::size_t tier, const TimedRequest& request,
+                   MatrixF input, std::size_t ordinal, double root_arrival,
+                   bool escalate);
+  void SealOpenTier(std::size_t tier, BatchSeal seal, double ready_s);
+  /// Runs the virtual-time event loop -- batch completions (escalation
+  /// re-injection, latency recording), timeout seals, FIFO launches and
+  /// controller epochs -- strictly in time order up to `now`.  In drain
+  /// mode it runs to quiescence instead (epochs fire only while real work
+  /// remains, so the loop terminates).
+  void RunAdaptiveEvents(double now, bool drain);
+  ServingResult DrainAdaptive();
+
   const ModelInstance& model_;
   ServingEngineConfig cfg_;
   BatchRunner runner_;
@@ -307,6 +346,31 @@ class ServingEngine {
   std::vector<std::pair<double, std::size_t>> pending_done_;
   double cache_epoch_ = 0;      ///< virtual-clock offset across streams
   double last_completion_ = 0;  ///< latest completion seen this stream
+
+  // Adaptive layer (engaged only when cfg.adapt.enabled).
+  /// One per-tier open batch (the adaptive former interleaves tiers, so
+  /// members are explicit indices rather than a contiguous range).
+  struct OpenTier {
+    bool active = false;
+    double open_s = 0;
+    std::size_t tokens = 0;
+    std::vector<std::size_t> members;  ///< admitted indices
+  };
+  std::optional<AdaptiveController> controller_;
+  std::vector<BatchServiceModel> tier_services_;  ///< resolved per tier
+  std::vector<OpenTier> open_tiers_;
+  std::vector<std::size_t> tier_of_;       ///< parallel to admitted_
+  std::vector<double> root_arrival_;       ///< original arrival (escalation)
+  std::vector<std::uint8_t> superseded_;   ///< first pass replaced by re-run
+  std::vector<std::uint8_t> escalate_flag_;  ///< probe said: re-run at tier 0
+  /// Launched batches not yet completed in virtual time:
+  /// (done_s, sealed ordinal), processed earliest-first.
+  std::vector<std::pair<double, std::size_t>> completions_;
+  double planned_acc_sum_ = 0;     ///< accuracy-budget numerator
+  std::size_t planned_count_ = 0;  ///< accepted requests (denominator)
+  std::vector<std::size_t> tier_requests_;   ///< completions per tier
+  std::vector<std::size_t> tier_batches_;    ///< batches formed per tier
+  std::vector<std::size_t> tier_escalated_;  ///< first passes escalated
 };
 
 }  // namespace latte

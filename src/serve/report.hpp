@@ -12,6 +12,17 @@
 
 namespace latte {
 
+/// Per-tier accounting of an adaptive run: how many requests and batches
+/// each rung of the service ladder absorbed, and what accuracy it
+/// promised them (from the tier's fidelity table entry).
+struct TierUsage {
+  std::size_t top_k = 0;      ///< the tier's sparse attention budget
+  std::size_t requests = 0;   ///< requests whose final service was this tier
+  std::size_t batches = 0;    ///< batches formed at this tier
+  std::size_t escalated = 0;  ///< first passes escalated away to tier 0
+  double accuracy = 1.0;      ///< modeled accuracy of this tier
+};
+
 /// Aggregate serving metrics.
 struct ServingReport {
   std::size_t requests = 0;
@@ -23,6 +34,12 @@ struct ServingReport {
   double p99_latency_s = 0;
   double throughput_rps = 0;    ///< completed requests / simulated span
   double device_busy_frac = 0;  ///< worker utilization over the span
+  /// Request-weighted mean of the modeled per-tier accuracy; 1.0 whenever
+  /// every request got the full model (the non-adaptive paths).
+  double mean_accuracy = 1.0;
+  /// Per-tier breakdown, parallel to the adaptive ladder.  Empty for
+  /// non-adaptive runs.
+  std::vector<TierUsage> tiers;
 };
 
 /// Linear-interpolated percentile of an ascending-sorted sample, p in

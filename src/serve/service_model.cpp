@@ -1,0 +1,75 @@
+#include "serve/service_model.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace latte {
+
+ConfigIssues CheckServiceModelSpec(const ServiceModelSpec& spec) {
+  ConfigIssues issues;
+  if (spec.base != ServiceModelSpec::Base::kAccelerator) {
+    if (!(spec.seconds_per_token > 0) ||
+        !std::isfinite(spec.seconds_per_token)) {
+      AddIssue(issues, "seconds_per_token",
+               "must be a positive, finite per-token cost");
+    }
+    if (std::isnan(spec.batch_overhead_s) || spec.batch_overhead_s < 0 ||
+        !std::isfinite(spec.batch_overhead_s)) {
+      AddIssue(issues, "batch_overhead_s",
+               "must be a non-negative, finite per-batch overhead");
+    }
+  } else if (spec.accel.top_k == 0) {
+    AddIssue(issues, "accel.top_k",
+             "must be >= 1 (0 selects no attention candidates)");
+  }
+  if (spec.sharded) {
+    MergePrefixed(issues, "shard", CheckShardServiceConfig(spec.shard));
+  }
+  return issues;
+}
+
+BatchServiceModel BuildServiceModel(const ServiceModelSpec& spec) {
+  ThrowOnIssues("ServiceModelSpec", CheckServiceModelSpec(spec));
+  BatchServiceModel base;
+  switch (spec.base) {
+    case ServiceModelSpec::Base::kTokenLinear:
+      base = TokenLinearServiceModel(spec.seconds_per_token,
+                                     spec.batch_overhead_s);
+      break;
+    case ServiceModelSpec::Base::kPadded:
+      base =
+          PaddedServiceModel(spec.seconds_per_token, spec.batch_overhead_s);
+      break;
+    case ServiceModelSpec::Base::kAccelerator: {
+      // By-value captures: the model a spec describes must outlive the
+      // spec itself (engines hold service models for their whole life).
+      const ModelConfig model = spec.model;
+      const AcceleratorConfig accel = spec.accel;
+      base = [model, accel](const std::vector<std::size_t>& lengths) {
+        return RunAccelerator(model, lengths, accel).latency_s;
+      };
+      break;
+    }
+  }
+  if (spec.sharded) {
+    base = MakeShardedServiceModel(std::move(base), spec.model, spec.shard);
+  }
+  return base;
+}
+
+ServiceModelSpec WithTopK(ServiceModelSpec spec, std::size_t top_k) {
+  spec.accel.top_k = top_k;
+  return spec;
+}
+
+std::vector<BatchServiceModel> BuildTierServiceModels(
+    const ServiceModelSpec& spec, const std::vector<ServiceTier>& tiers) {
+  std::vector<BatchServiceModel> models;
+  models.reserve(tiers.size());
+  for (const ServiceTier& tier : tiers) {
+    models.push_back(BuildServiceModel(WithTopK(spec, tier.top_k)));
+  }
+  return models;
+}
+
+}  // namespace latte

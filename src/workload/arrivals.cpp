@@ -108,6 +108,51 @@ std::vector<TimedRequest> GenerateZipfTrace(const ZipfTraceConfig& cfg,
   return trace;
 }
 
+ConfigIssues CheckRampTraceConfig(const RampTraceConfig& cfg) {
+  ConfigIssues issues;
+  if (cfg.stages.empty()) {
+    AddIssue(issues, "stages", "must name at least one stage");
+  }
+  for (std::size_t i = 0; i < cfg.stages.size(); ++i) {
+    const std::string prefix = "stages[" + std::to_string(i) + "]";
+    if (!(cfg.stages[i].arrival_rate_rps > 0)) {
+      AddIssue(issues, prefix + ".arrival_rate_rps",
+               "must be > 0 (got " +
+                   std::to_string(cfg.stages[i].arrival_rate_rps) + ")");
+    }
+    if (cfg.stages[i].requests == 0) {
+      AddIssue(issues, prefix + ".requests",
+               "must be >= 1 (an empty stage has no duration)");
+    }
+  }
+  return issues;
+}
+
+void ValidateRampTraceConfig(const RampTraceConfig& cfg) {
+  ThrowOnIssues("RampTraceConfig", CheckRampTraceConfig(cfg));
+}
+
+std::vector<TimedRequest> GenerateRampTrace(const RampTraceConfig& cfg,
+                                            const DatasetSpec& dataset) {
+  ValidateRampTraceConfig(cfg);
+  Rng rng(cfg.seed);
+  LengthSampler sampler(dataset);
+  std::size_t total = 0;
+  for (const RampStage& stage : cfg.stages) total += stage.requests;
+  std::vector<TimedRequest> trace;
+  trace.reserve(total);
+  double t = 0;
+  for (const RampStage& stage : cfg.stages) {
+    for (std::size_t i = 0; i < stage.requests; ++i) {
+      double u = rng.NextUniform();
+      if (u < 1e-300) u = 1e-300;
+      t += -std::log(u) / stage.arrival_rate_rps;  // exponential gap
+      trace.push_back({t, sampler.Sample(rng)});
+    }
+  }
+  return trace;
+}
+
 double TraceDuplicateRate(const std::vector<TimedRequest>& trace) {
   if (trace.empty()) return 0;
   std::unordered_set<std::uint64_t> seen;

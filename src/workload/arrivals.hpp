@@ -84,6 +84,34 @@ void ValidateZipfTraceConfig(const ZipfTraceConfig& cfg);
 std::vector<TimedRequest> GenerateZipfTrace(const ZipfTraceConfig& cfg,
                                             const DatasetSpec& dataset);
 
+/// One stage of a load ramp: a Poisson segment at a fixed rate.
+struct RampStage {
+  double arrival_rate_rps = 50;  ///< mean arrival rate within the stage
+  std::size_t requests = 128;    ///< requests emitted by the stage
+};
+
+/// Knobs of the load-ramp trace generator: consecutive Poisson stages on
+/// one continuous timeline (warmup -> overload -> cooldown is the shape
+/// the adaptive-serving bench drives).
+struct RampTraceConfig {
+  std::vector<RampStage> stages;
+  std::uint64_t seed = 1;  ///< drives gaps and lengths across all stages
+};
+
+/// Names every illegal field (no stages, non-positive or NaN stage rate,
+/// empty stage); empty means legal.
+ConfigIssues CheckRampTraceConfig(const RampTraceConfig& cfg);
+
+/// Throws std::invalid_argument naming the offending field.
+void ValidateRampTraceConfig(const RampTraceConfig& cfg);
+
+/// Generates the concatenated trace: stage i's exponential gaps at its own
+/// rate continue from the previous stage's last arrival, so the timeline
+/// is continuous and arrivals are strictly ordered.  One Rng drives the
+/// whole trace -- deterministic in the seed, like the other generators.
+std::vector<TimedRequest> GenerateRampTrace(const RampTraceConfig& cfg,
+                                            const DatasetSpec& dataset);
+
 /// Fraction of requests whose identity already appeared earlier in the
 /// trace -- the share a warm result cache could serve without computing.
 /// Anonymous requests never repeat.

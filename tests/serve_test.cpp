@@ -312,7 +312,11 @@ TEST(ServingEngineTest, AgreesWithSimulatorOnSharedScenario) {
   auto cfg = SmallEngineConfig();
   cfg.former = ServingBatchFormer(scenario);
   cfg.workers = scenario.workers;
-  cfg.service = AcceleratorServiceModel(BertBase(), scenario.accel);
+  ServiceModelSpec spec;
+  spec.base = ServiceModelSpec::Base::kAccelerator;
+  spec.model = BertBase();
+  spec.accel = scenario.accel;
+  cfg.service = BuildServiceModel(spec);
   ServingEngine engine(SmallModel(), cfg);
   const auto trace = GeneratePoissonTrace(ServingTrace(scenario), Mrpc());
   const ServingResult res = engine.Replay(trace);
