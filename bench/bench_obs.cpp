@@ -1,0 +1,281 @@
+// Observability benchmark: the cost and the contracts of the tracing
+// layer, emitted as machine-readable JSON (BENCH_obs.json, or argv[1])
+// plus a Chrome trace artifact (TRACE_obs.json, or argv[2]) for the CI
+// perf-smoke job.
+//
+// Four cells:
+//   * sweep      -- traced serving runs (execute=true) across arrival
+//                   rates; the counts (requests, batches, trace events)
+//                   are trace-driven and gate exactly against the
+//                   recorded baseline.
+//   * overhead   -- best-of-N wall clock of the same replay with tracing
+//                   off vs on.  The disabled path is one pointer check
+//                   per site, the enabled path a bounded in-memory append
+//                   per event; the headline bit gates overhead < 3%.
+//   * bit_exact  -- tracing on changes nothing: outputs and the
+//                   virtual-time report are bit-identical vs untraced.
+//   * determinism-- the exported Chrome trace and metrics snapshot are
+//                   byte-identical at 1 and 4 runner threads, and a tiny
+//                   ring buffer accounts every dropped event exactly.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "json_writer.hpp"
+
+namespace latte {
+namespace {
+
+ServingEngineConfig ObsEngineConfig(std::size_t threads, bool traced) {
+  ServingEngineConfig cfg;
+  cfg.former.max_batch = 8;
+  cfg.former.timeout_s = 0.02;
+  cfg.workers = 2;
+  cfg.threads = threads;
+  cfg.inference.mode = InferenceMode::kSparseInt8;
+  cfg.inference.sparse.top_k = 30;
+  cfg.trace.enabled = traced;
+  return cfg;
+}
+
+std::vector<TimedRequest> ObsTrace(double rate, std::size_t requests) {
+  PoissonTraceConfig cfg;
+  cfg.arrival_rate_rps = rate;
+  cfg.requests = requests;
+  cfg.seed = 7;
+  return GeneratePoissonTrace(cfg, Mrpc());
+}
+
+double ReplayWallSeconds(const ModelInstance& model,
+                         const ServingEngineConfig& cfg,
+                         const std::vector<TimedRequest>& trace) {
+  ServingEngine engine(model, cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  const ServingResult res = engine.Replay(trace);
+  const auto t1 = std::chrono::steady_clock::now();
+  (void)res;
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+bool SameOutputs(const ServingResult& a, const ServingResult& b) {
+  if (a.outputs.size() != b.outputs.size()) return false;
+  for (std::size_t i = 0; i < a.outputs.size(); ++i) {
+    if (a.outputs[i].rows() != b.outputs[i].rows() ||
+        a.outputs[i].cols() != b.outputs[i].cols()) {
+      return false;
+    }
+    for (std::size_t r = 0; r < a.outputs[i].rows(); ++r) {
+      for (std::size_t c = 0; c < a.outputs[i].cols(); ++c) {
+        if (a.outputs[i](r, c) != b.outputs[i](r, c)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SameReport(const ServingReport& a, const ServingReport& b) {
+  return a.requests == b.requests && a.batches == b.batches &&
+         a.mean_latency_s == b.mean_latency_s &&
+         a.p50_latency_s == b.p50_latency_s &&
+         a.p95_latency_s == b.p95_latency_s &&
+         a.p99_latency_s == b.p99_latency_s &&
+         a.throughput_rps == b.throughput_rps &&
+         a.device_busy_frac == b.device_busy_frac;
+}
+
+std::string MetricsSnapshot(const ServingEngine& engine,
+                            const ServingResult& res) {
+  obs::MetricsRegistry reg;
+  obs::ExportServingReport(res.report(), "serve", reg);
+  obs::ExportAdmissionStats(res.admission, "serve.admission", reg);
+  obs::ExportTracerStats(*engine.tracer(), "serve.trace", reg);
+  return reg.ToJson();
+}
+
+}  // namespace
+}  // namespace latte
+
+int main(int argc, char** argv) {
+  using namespace latte;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_obs.json";
+  const std::string trace_path = argc > 2 ? argv[2] : "TRACE_obs.json";
+
+  const ModelConfig func_model = ScaledDown(BertBase(), 6);
+  const ModelInstance model(func_model, 2022);
+  const std::size_t requests = 64;
+
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("obs");
+  json.Key("schema_version").Value(std::size_t{1});
+  bench::StampHost(json);
+  json.Key("functional_model").Value(func_model.name);
+  json.Key("requests").Value(requests);
+  json.Key("workers").Value(std::size_t{2});
+
+  // ------------------------------------------------- traced serving sweep --
+  json.Key("results");
+  json.BeginArray();
+  TextTable table({"arrival (req/s)", "batches", "p99 (ms)", "events",
+                   "dropped"});
+  for (double rate : {60.0, 180.0}) {
+    const auto trace = ObsTrace(rate, requests);
+    ServingEngine engine(model, ObsEngineConfig(2, /*traced=*/true));
+    const ServingResult res = engine.Replay(trace);
+    const auto merged = engine.tracer()->Merged();
+
+    json.BeginObject();
+    json.Key("arrival_rps").Value(rate);
+    json.Key("requests").Value(res.report().requests);
+    json.Key("batches").Value(res.report().batches);
+    json.Key("accepted").Value(res.admission.accepted);
+    json.Key("rejected").Value(res.admission.rejected);
+    json.Key("trace_events").Value(merged.size());
+    json.Key("trace_dropped")
+        .Value(static_cast<std::size_t>(engine.tracer()->total_dropped()));
+    json.Key("p99_ms").Value(res.report().p99_latency_s * 1e3);
+    json.Key("throughput_rps").Value(res.report().throughput_rps);
+    json.EndObject();
+
+    table.AddRow({Fmt(rate, 0), std::to_string(res.report().batches),
+                  Fmt(res.report().p99_latency_s * 1e3, 1),
+                  std::to_string(merged.size()),
+                  std::to_string(engine.tracer()->total_dropped())});
+  }
+  json.EndArray();
+
+  // -------------------------------------------------------- overhead cell --
+  // The workload executes real tensors -- the regime the <3% budget is
+  // claimed for.  Reps run single-threaded (scheduler jitter on shared
+  // cores dwarfs the tracing cost itself) and interleaved in pairs, and
+  // the headline is the *median* of the per-pair relative differences:
+  // pairing cancels slow machine drift, the median kills outliers, so the
+  // bit gates stably even on a noisy host.
+  const auto load = ObsTrace(180.0, requests);
+  const auto overhead_load = ObsTrace(180.0, 2 * requests);
+  const int reps = 9;
+  std::vector<double> pair_fracs;
+  double untraced = 1e300, traced = 1e300;
+  ReplayWallSeconds(model, ObsEngineConfig(1, false), load);  // warmup
+  for (int r = 0; r < reps; ++r) {
+    const double u =
+        ReplayWallSeconds(model, ObsEngineConfig(1, false), overhead_load);
+    const double t =
+        ReplayWallSeconds(model, ObsEngineConfig(1, true), overhead_load);
+    pair_fracs.push_back(t / u - 1.0);
+    if (u < untraced) untraced = u;
+    if (t < traced) traced = t;
+  }
+  std::sort(pair_fracs.begin(), pair_fracs.end());
+  const double overhead_frac = pair_fracs[pair_fracs.size() / 2];
+  const bool overhead_ok = overhead_frac < 0.03;
+  json.Key("overhead");
+  json.BeginObject();
+  json.Key("reps").Value(std::size_t{reps});
+  json.Key("untraced_wall_s").Value(untraced);
+  json.Key("traced_wall_s").Value(traced);
+  json.Key("overhead_frac").Value(overhead_frac);
+  json.Key("overhead_ok").Value(overhead_ok);
+  json.EndObject();
+
+  // ------------------------------------------------------- bit-exact cell --
+  bool outputs_identical, report_identical;
+  {
+    ServingEngine plain(model, ObsEngineConfig(2, false));
+    ServingEngine with_trace(model, ObsEngineConfig(2, true));
+    const ServingResult a = plain.Replay(load);
+    const ServingResult b = with_trace.Replay(load);
+    outputs_identical = SameOutputs(a, b);
+    report_identical = SameReport(a.report(), b.report());
+  }
+  json.Key("bit_exact");
+  json.BeginObject();
+  json.Key("outputs_identical").Value(outputs_identical);
+  json.Key("report_identical").Value(report_identical);
+  json.EndObject();
+
+  // ----------------------------------------------------- determinism cell --
+  std::string trace_1t, metrics_1t, trace_4t, metrics_4t;
+  {
+    ServingEngine one(model, ObsEngineConfig(1, true));
+    const ServingResult res1 = one.Replay(load);
+    trace_1t = obs::ChromeTraceJson(*one.tracer());
+    metrics_1t = MetricsSnapshot(one, res1);
+    ServingEngine four(model, ObsEngineConfig(4, true));
+    const ServingResult res4 = four.Replay(load);
+    trace_4t = obs::ChromeTraceJson(*four.tracer());
+    metrics_4t = MetricsSnapshot(four, res4);
+  }
+  const bool byte_identical = trace_1t == trace_4t && metrics_1t == metrics_4t;
+  json.Key("determinism");
+  json.BeginObject();
+  json.Key("trace_bytes").Value(trace_1t.size());
+  json.Key("metrics_bytes").Value(metrics_1t.size());
+  json.Key("byte_identical").Value(byte_identical);
+  json.EndObject();
+
+  // -------------------------------------------------------- overflow cell --
+  std::size_t overflow_recorded, overflow_dropped;
+  {
+    ServingEngineConfig tiny = ObsEngineConfig(2, true);
+    tiny.trace.buffer_capacity = 8;
+    tiny.execute = false;  // accounting-only: the counts are the point
+    ServingEngine engine(model, tiny);
+    engine.Replay(load);
+    overflow_recorded = engine.tracer()->Merged().size();
+    overflow_dropped =
+        static_cast<std::size_t>(engine.tracer()->total_dropped());
+  }
+  json.Key("overflow");
+  json.BeginObject();
+  json.Key("capacity").Value(std::size_t{8});
+  json.Key("recorded").Value(overflow_recorded);
+  json.Key("dropped").Value(overflow_dropped);
+  json.Key("accounted_ok").Value(overflow_dropped > 0);
+  json.EndObject();
+
+  // ---------------------------------------------------- manifest + export --
+  {
+    search::DesignPoint dp;
+    search::ReplicaDesign rd;
+    rd.former = ObsEngineConfig(2, true).former;
+    rd.workers = 2;
+    rd.top_k = 30;
+    dp.replicas.push_back(rd);
+    obs::RunManifest manifest;
+    manifest.name = "bench_obs/serving_sweep";
+    manifest.seed = 7;
+    manifest.config_json = search::DesignPointToJson(dp);
+    manifest.metrics = {{"overhead_frac", overhead_frac},
+                        {"untraced_wall_s", untraced},
+                        {"traced_wall_s", traced}};
+    json.Key("manifest");
+    obs::WriteRunManifest(manifest, json);
+  }
+  json.EndObject();
+
+  // The Chrome trace artifact CI loads with jq: the 1-thread determinism
+  // run (byte-identical to the 4-thread one by the gate above).
+  obs::JsonWriter trace_json;
+  trace_json.Raw(trace_1t);
+
+  std::printf("== Observability: tracing cost and determinism ==\n\n");
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("overhead: untraced %.1fms, traced %.1fms (%+.2f%%) -> %s\n",
+              untraced * 1e3, traced * 1e3, overhead_frac * 100,
+              overhead_ok ? "ok" : "OVER BUDGET");
+  std::printf("bit-exact vs untraced: outputs %s, report %s\n",
+              outputs_identical ? "yes" : "NO",
+              report_identical ? "yes" : "NO");
+  std::printf("byte-identical across {1,4} threads: %s\n",
+              byte_identical ? "yes" : "NO");
+  std::printf("overflow: kept %zu, dropped %zu (capacity 8)\n",
+              overflow_recorded, overflow_dropped);
+  if (!json.WriteFile(out_path)) return 1;
+  if (!trace_json.WriteFile(trace_path)) return 1;
+  std::printf("wrote %s and %s\n", out_path.c_str(), trace_path.c_str());
+  return 0;
+}

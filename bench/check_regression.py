@@ -3,7 +3,8 @@
 
 Compares the current bench outputs (BENCH_kernels.json, BENCH_runtime.json,
 BENCH_serving.json, BENCH_cluster.json, BENCH_cache.json,
-BENCH_shard.json, BENCH_search.json, BENCH_adaptive.json) against the
+BENCH_shard.json, BENCH_search.json, BENCH_adaptive.json,
+BENCH_obs.json) against the
 recorded baselines in
 bench/baselines/ and
 fails (exit 1) with a delta table when a gated metric regresses beyond the
@@ -392,6 +393,54 @@ def compare_adaptive(gate, base, cur):
                   "lower_reject_than_baselines", "adaptive_beats_fixed"):
         gate.check("adaptive", "headline.%s" % field,
                    base["headline"][field], cur["headline"][field], "exact")
+
+
+@bench_compare("BENCH_obs.json")
+def compare_obs(gate, base, cur):
+    def key(r):
+        return r["arrival_rps"]
+
+    cur_results = {key(r): r for r in cur["results"]}
+    for res in base["results"]:
+        k = key(res)
+        name = "rps=%g" % k
+        got = cur_results.get(k)
+        if got is None:
+            gate.missing("obs", name)
+            continue
+        # The trace is deterministic and every span is emitted from the
+        # virtual-time schedule, so event counts -- like the serving
+        # counts they mirror -- must match exactly.
+        for field in ("requests", "batches", "accepted", "rejected",
+                      "trace_events", "trace_dropped"):
+            gate.check("obs", "%s.%s" % (name, field), res[field],
+                       got[field], "exact")
+        gate.check("obs", "%s.p99_ms" % name, res["p99_ms"],
+                   got["p99_ms"], "info-lower")
+    # The contracts the acceptance rides on: tracing changes nothing
+    # (bit-exact outputs and report), the exported streams are
+    # byte-identical across thread counts, overflow is accounted exactly,
+    # and the enabled-path overhead stays under its 3% budget.
+    gate.check("obs", "bit_exact.outputs_identical",
+               base["bit_exact"]["outputs_identical"],
+               cur["bit_exact"]["outputs_identical"], "exact")
+    gate.check("obs", "bit_exact.report_identical",
+               base["bit_exact"]["report_identical"],
+               cur["bit_exact"]["report_identical"], "exact")
+    gate.check("obs", "determinism.byte_identical",
+               base["determinism"]["byte_identical"],
+               cur["determinism"]["byte_identical"], "exact")
+    for field in ("recorded", "dropped"):
+        gate.check("obs", "overflow.%s" % field, base["overflow"][field],
+                   cur["overflow"][field], "exact")
+    gate.check("obs", "overhead.overhead_ok",
+               base["overhead"]["overhead_ok"],
+               cur["overhead"]["overhead_ok"], "exact")
+    # The measured fraction itself is wall-clock and host-dependent:
+    # report-only.
+    gate.check("obs", "overhead.overhead_frac",
+               base["overhead"]["overhead_frac"],
+               cur["overhead"]["overhead_frac"], "info-lower")
 
 
 def main():

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <string>
 
-#include "serve/report.hpp"
+#include "obs/percentiles.hpp"
 
 namespace latte {
 
@@ -105,6 +105,7 @@ AdaptiveController::AdaptiveController(const AdaptiveServingConfig& cfg)
 void AdaptiveController::Reset() {
   level_ = 0;
   epoch_next_ = cfg_.epoch_s;
+  epoch_seq_ = 0;
   window_.assign(cfg_.latency_window, 0.0);
   window_pos_ = 0;
   window_count_ = 0;
@@ -117,12 +118,7 @@ void AdaptiveController::RecordLatency(double latency_s) {
 }
 
 double AdaptiveController::rolling_p99_s() const {
-  if (window_count_ == 0) return 0;
-  std::vector<double> sorted(window_.begin(),
-                             window_.begin() +
-                                 static_cast<std::ptrdiff_t>(window_count_));
-  std::sort(sorted.begin(), sorted.end());
-  return PercentileOfSorted(sorted, 0.99);
+  return obs::PercentileOfWindow(window_, window_count_, 0.99);
 }
 
 double AdaptiveController::Pressure(std::size_t queue_depth) const {
@@ -139,6 +135,17 @@ void AdaptiveController::AdvanceEpoch(std::size_t queue_depth) {
   } else if (pressure < cfg_.low_band) {
     if (level_ > 0) --level_;
   }
+  if (tracer_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::SpanKind::kEpoch;
+    e.begin_s = e.end_s = epoch_next_;
+    e.wall_s = tracer_->WallStamp();
+    e.id = epoch_seq_;
+    e.arg = static_cast<std::int64_t>(level_);
+    e.track = track_;
+    tracer_->Record(e);
+  }
+  ++epoch_seq_;
   epoch_next_ += cfg_.epoch_s;
 }
 

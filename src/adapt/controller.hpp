@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "config/check.hpp"
+#include "obs/trace.hpp"
 
 namespace latte {
 
@@ -126,8 +127,19 @@ class AdaptiveController {
   /// the per-stream reset, mirroring the engine's ResetStream().
   void Reset();
 
+  /// Records a kEpoch instant (boundary time, level after stepping) on
+  /// `track` at every AdvanceEpoch().  Null detaches; the owning engine
+  /// wires this alongside its own tracer.
+  void SetTracer(obs::Tracer* tracer, std::uint32_t track) {
+    tracer_ = tracer;
+    track_ = track;
+  }
+
  private:
   AdaptiveServingConfig cfg_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t track_ = 0;
+  std::uint64_t epoch_seq_ = 0;  ///< boundaries processed this stream
   std::size_t level_ = 0;
   double epoch_next_ = 0;
   std::vector<double> window_;  ///< ring buffer of recent latencies

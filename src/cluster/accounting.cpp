@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/percentiles.hpp"
+
 namespace latte {
 namespace {
 
@@ -26,13 +28,10 @@ ClusterReport BuildClusterReport(const std::vector<ReplicaDrainView>& fleet) {
   ClusterReport cluster;
   cluster.replicas.reserve(fleet.size());
 
-  std::vector<double> latencies;    // pooled across the fleet
+  obs::LatencyPool pool;            // latencies + span, fleet-wide
   std::vector<std::size_t> counts;  // admitted requests per replica
   std::vector<std::size_t> tokens;  // admitted tokens per replica
   double busy_s = 0;
-  double first_arrival = 0;
-  double last_done = 0;
-  bool any_batch = false;
   // Store counters keyed by store identity: a fleet-shared store is
   // counted once (its last drain-time snapshot is the final state), and
   // views without a store pointer fall back to summing their snapshots.
@@ -83,14 +82,10 @@ ClusterReport BuildClusterReport(const std::vector<ReplicaDrainView>& fleet) {
         const TimedRequest& req = offers[res.offered_ids[idx]];
         max_len = std::max(max_len, req.length);
         if (is_superseded(idx)) continue;
-        latencies.push_back(done - req.arrival_s);
+        pool.Add(req.arrival_s, done);
         acc.tokens += req.length;
-        if (!any_batch || req.arrival_s < first_arrival) {
-          first_arrival = req.arrival_s;
-        }
-        any_batch = true;
       }
-      last_done = std::max(last_done, done);
+      pool.ExtendSpan(done);
       const double fill =
           max_len == 0
               ? 1.0
@@ -105,12 +100,7 @@ ClusterReport BuildClusterReport(const std::vector<ReplicaDrainView>& fleet) {
     // without a batch; they still count toward the fleet's latency pool
     // and span -- the caller saw them served.
     for (const CacheServedRequest& served : res.cache_served) {
-      latencies.push_back(served.done_s - served.arrival_s);
-      if (!any_batch || served.arrival_s < first_arrival) {
-        first_arrival = served.arrival_s;
-      }
-      any_batch = true;
-      last_done = std::max(last_done, served.done_s);
+      pool.Add(served.arrival_s, served.done_s);
     }
     cluster.cache = AccumulateEngineCacheStats(cluster.cache, res.cache);
     if (view.cache_store == nullptr) {
@@ -144,9 +134,9 @@ ClusterReport BuildClusterReport(const std::vector<ReplicaDrainView>& fleet) {
   for (const auto& [store, snapshot] : store_last) {
     cluster.cache.store = AccumulateStoreStats(cluster.cache.store, snapshot);
   }
-  const double span = any_batch ? last_done - first_arrival : 0;
-  cluster.fleet = BuildServingReport(latencies, total_batches, busy_s, span,
-                                     total_workers == 0 ? 1 : total_workers);
+  cluster.fleet =
+      BuildServingReport(pool.latencies, total_batches, busy_s, pool.span(),
+                         total_workers == 0 ? 1 : total_workers);
 
   // Fleet accuracy: request-weighted mean of the replica means, and the
   // per-tier usage merged by ladder position (a heterogeneous fleet keeps

@@ -68,6 +68,18 @@ ConfigIssues CheckClusterConfig(const ClusterConfig& cfg) {
   }
   MergePrefixed(issues, "router",
                 CheckRouterConfig(cfg.router, cfg.replicas.size()));
+  if (cfg.trace.enabled) {
+    MergePrefixed(issues, "trace", obs::CheckTraceConfig(cfg.trace));
+    for (std::size_t i = 0; i < cfg.replicas.size(); ++i) {
+      if (cfg.replicas[i].engine.trace.enabled) {
+        AddIssue(issues,
+                 "replica[" + std::to_string(i) + "].engine.trace.enabled",
+                 "conflicts with the fleet tracer (the cluster attaches one "
+                 "tracer spanning every replica; configure one or the "
+                 "other)");
+      }
+    }
+  }
   return issues;
 }
 
@@ -99,6 +111,20 @@ ServingCluster::ServingCluster(const ModelInstance& model,
   }
   offers_.resize(replicas_.size());
   offer_global_.resize(replicas_.size());
+  if (cfg_.trace.enabled) {
+    // One fleet tracer, tracks laid out replica-major: replica i gets
+    // [base, base + workers] (workers first, control lane last), labels
+    // prefixed with the replica name so a Perfetto view reads
+    // "r0/worker 1".
+    fleet_tracer_ = std::make_unique<obs::Tracer>(cfg_.trace);
+    std::uint32_t base = 0;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      replicas_[i]->engine().AttachTracer(fleet_tracer_.get(), base,
+                                          replicas_[i]->name() + "/");
+      base +=
+          static_cast<std::uint32_t>(cfg_.replicas[i].engine.workers) + 1;
+    }
+  }
 }
 
 bool ServingCluster::Push(const TimedRequest& request,

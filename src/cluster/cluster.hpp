@@ -71,6 +71,10 @@ struct ClusterConfig {
   /// Fleet-front result cache (kNone leaves caching to the per-replica
   /// engine configs, which must not set one when a mode is chosen here).
   ClusterCacheConfig cache;
+  /// Fleet-wide request-lifecycle tracing: one obs::Tracer spanning every
+  /// replica, each on its own track range ("r0/worker 1", "r1/control").
+  /// Mutually exclusive with per-replica engine tracing.
+  obs::TraceConfig trace;
 };
 
 /// Names every illegal field across the whole fleet aggregate (replica
@@ -147,6 +151,11 @@ class ServingCluster {
   const Replica& replica(std::size_t i) const { return *replicas_[i]; }
   const ClusterRoutingStats& routing() const { return routing_; }
 
+  /// The fleet tracer (null when cfg.trace is disabled).  Tracks are laid
+  /// out replica-major: replica i occupies [base_i, base_i + workers_i],
+  /// workers first, control lane last.
+  obs::Tracer* tracer() const { return fleet_tracer_.get(); }
+
  private:
   bool PushImpl(const TimedRequest& request, MatrixF input, bool has_input);
   void ResetStream();
@@ -156,6 +165,7 @@ class ServingCluster {
   bool execute_ = true;  ///< uniform across replicas (validated)
   Router router_;
   std::shared_ptr<ResultCache> shared_cache_;  ///< kShared mode only
+  std::unique_ptr<obs::Tracer> fleet_tracer_;  ///< cfg.trace.enabled only
   /// unique_ptr because a Replica owns a ServingEngine (whose BatchRunner
   /// is neither copyable nor movable).
   std::vector<std::unique_ptr<Replica>> replicas_;

@@ -11,7 +11,9 @@
 // (sched, serve), the simulated-annealing design-space search over the
 // unified DesignPoint serving-config API (search), the SLO-driven
 // admission and accuracy-degradation controller (adapt), the workload
-// generators (workload) and the evaluation metrics (metrics).
+// generators (workload), the evaluation metrics (metrics) and the
+// observability layer -- request-lifecycle tracing, the unified metrics
+// registry and the Chrome-trace / manifest exporters (obs).
 //
 // See README.md for a quickstart and DESIGN.md for the architecture.
 
@@ -56,6 +58,13 @@
 #include "nn/ops.hpp"
 #include "nn/qlinear.hpp"
 #include "nn/sharded_encoder.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/export.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/manifest.hpp"
+#include "obs/percentiles.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "platform/platform.hpp"
 #include "runtime/batch_runner.hpp"
 #include "runtime/shard_exec.hpp"

@@ -1,0 +1,31 @@
+#pragma once
+// Chrome trace-event JSON export (the format chrome://tracing and
+// Perfetto load).  One engine/cluster run becomes a process with one
+// named thread-track per logical lane: lifecycle instants and
+// queue-wait/stage spans on the control track, batch executions as
+// async "b"/"e" slices on the worker track that served them -- so a
+// loaded trace shows, per worker, which batches it ran and when, and
+// per request, where its latency went.
+//
+// Timestamps are the run's virtual-time seconds scaled to microseconds
+// (the trace-event unit).  The emitted document is a deterministic
+// function of Tracer::Merged(), so with wall stamps off it is
+// byte-identical at any thread count.
+
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace latte::obs {
+
+class JsonWriter;
+
+/// Writes {"traceEvents":[...],"displayTimeUnit":"ms","otherData":{...}}.
+/// otherData carries the dropped-event count so an overflowed buffer is
+/// visible in the artifact itself.
+void WriteChromeTrace(const Tracer& tracer, JsonWriter& json);
+
+/// Convenience: the document as a string.
+std::string ChromeTraceJson(const Tracer& tracer);
+
+}  // namespace latte::obs

@@ -1,0 +1,96 @@
+#include "obs/export.hpp"
+
+#include "cache/stats.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/engine.hpp"
+#include "serve/report.hpp"
+
+namespace latte::obs {
+namespace {
+
+std::string Name(std::string_view prefix, std::string_view field) {
+  std::string name(prefix);
+  name += '.';
+  name += field;
+  return name;
+}
+
+}  // namespace
+
+void ExportAdmissionStats(const AdmissionStats& stats, std::string_view prefix,
+                          MetricsRegistry& registry) {
+  registry.counter(Name(prefix, "offered")).Add(stats.offered);
+  registry.counter(Name(prefix, "accepted")).Add(stats.accepted);
+  registry.counter(Name(prefix, "rejected")).Add(stats.rejected);
+  registry.gauge(Name(prefix, "peak_queue"))
+      .Set(static_cast<double>(stats.peak_queue));
+}
+
+void ExportCacheStoreStats(const CacheStoreStats& stats,
+                           std::string_view prefix,
+                           MetricsRegistry& registry) {
+  registry.counter(Name(prefix, "insertions")).Add(stats.insertions);
+  registry.counter(Name(prefix, "refreshes")).Add(stats.refreshes);
+  registry.counter(Name(prefix, "evictions")).Add(stats.evictions);
+  registry.counter(Name(prefix, "expirations")).Add(stats.expirations);
+  registry.counter(Name(prefix, "rejected_too_large"))
+      .Add(stats.rejected_too_large);
+  registry.counter(Name(prefix, "invalidations")).Add(stats.invalidations);
+  registry.gauge(Name(prefix, "entries"))
+      .Set(static_cast<double>(stats.entries));
+  registry.gauge(Name(prefix, "bytes_used"))
+      .Set(static_cast<double>(stats.bytes_used));
+  registry.gauge(Name(prefix, "peak_bytes"))
+      .Set(static_cast<double>(stats.peak_bytes));
+}
+
+void ExportCacheStats(const CacheStats& stats, std::string_view prefix,
+                      MetricsRegistry& registry) {
+  registry.counter(Name(prefix, "lookups")).Add(stats.lookups);
+  registry.counter(Name(prefix, "hits")).Add(stats.hits);
+  registry.counter(Name(prefix, "coalesced")).Add(stats.coalesced);
+  registry.counter(Name(prefix, "misses")).Add(stats.misses);
+  registry.counter(Name(prefix, "bypassed")).Add(stats.bypassed);
+  registry.gauge(Name(prefix, "hit_rate")).Set(CacheHitRate(stats));
+  ExportCacheStoreStats(stats.store, Name(prefix, "store"), registry);
+}
+
+void ExportThreadPoolStats(const ThreadPool& pool, std::string_view prefix,
+                           MetricsRegistry& registry) {
+  registry.gauge(Name(prefix, "size")).Set(static_cast<double>(pool.size()));
+  registry.counter(Name(prefix, "completed")).Add(pool.completed());
+  registry.counter(Name(prefix, "task_errors")).Add(pool.task_errors());
+  registry.gauge(Name(prefix, "queue_depth"))
+      .Set(static_cast<double>(pool.queue_depth()));
+}
+
+void ExportServingReport(const ServingReport& report, std::string_view prefix,
+                         MetricsRegistry& registry) {
+  registry.counter(Name(prefix, "requests")).Add(report.requests);
+  registry.counter(Name(prefix, "batches")).Add(report.batches);
+  registry.gauge(Name(prefix, "mean_batch_size")).Set(report.mean_batch_size);
+  registry.gauge(Name(prefix, "mean_latency_s")).Set(report.mean_latency_s);
+  registry.gauge(Name(prefix, "p50_latency_s")).Set(report.p50_latency_s);
+  registry.gauge(Name(prefix, "p95_latency_s")).Set(report.p95_latency_s);
+  registry.gauge(Name(prefix, "p99_latency_s")).Set(report.p99_latency_s);
+  registry.gauge(Name(prefix, "throughput_rps")).Set(report.throughput_rps);
+  registry.gauge(Name(prefix, "device_busy_frac"))
+      .Set(report.device_busy_frac);
+  registry.gauge(Name(prefix, "mean_accuracy")).Set(report.mean_accuracy);
+}
+
+void ExportTracerStats(const Tracer& tracer, std::string_view prefix,
+                       MetricsRegistry& registry) {
+  std::uint64_t recorded = 0;
+  for (const auto& [track, name] : tracer.tracks()) {
+    const TraceBuffer* buffer = tracer.buffer(track);
+    if (buffer != nullptr) recorded += buffer->events().size();
+  }
+  registry.counter(Name(prefix, "events_recorded")).Add(recorded);
+  registry.counter(Name(prefix, "events_dropped"))
+      .Add(tracer.total_dropped());
+}
+
+}  // namespace latte::obs

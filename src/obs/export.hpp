@@ -1,0 +1,54 @@
+#pragma once
+// Bridges from the stack's existing accounting structs into the metrics
+// registry, so AdmissionStats / CacheStats / CacheStoreStats /
+// ServingReport / ThreadPool health all surface through one named sink
+// instead of bespoke structs-only paths.
+//
+// Convention: every metric is named "<prefix>.<field>".  Cumulative
+// event counts land in counters (exporting the same struct twice *adds*
+// -- call once per drained run, or use distinct prefixes); point-in-time
+// values (queue depth, bytes in use, report percentiles) land in gauges.
+
+#include <string>
+#include <string_view>
+
+namespace latte {
+struct AdmissionStats;
+struct CacheStats;
+struct CacheStoreStats;
+struct ServingReport;
+class ThreadPool;
+}  // namespace latte
+
+namespace latte::obs {
+
+class MetricsRegistry;
+class Tracer;
+
+void ExportAdmissionStats(const AdmissionStats& stats, std::string_view prefix,
+                          MetricsRegistry& registry);
+
+/// Store-lifetime counters (insertions/evictions/...) as counters,
+/// occupancy (entries, bytes_used, peak_bytes) as gauges.
+void ExportCacheStoreStats(const CacheStoreStats& stats,
+                           std::string_view prefix, MetricsRegistry& registry);
+
+/// Per-stream lookup outcomes (hits/coalesced/misses/bypassed) plus the
+/// store snapshot under "<prefix>.store".
+void ExportCacheStats(const CacheStats& stats, std::string_view prefix,
+                      MetricsRegistry& registry);
+
+/// Pool health: size/completed/task_errors as counters ("tasks run" is
+/// cumulative), queue depth as a gauge.
+void ExportThreadPoolStats(const ThreadPool& pool, std::string_view prefix,
+                           MetricsRegistry& registry);
+
+/// Headline report numbers as gauges (requests/batches as counters).
+void ExportServingReport(const ServingReport& report, std::string_view prefix,
+                         MetricsRegistry& registry);
+
+/// Tracer self-accounting: events recorded and dropped, per run.
+void ExportTracerStats(const Tracer& tracer, std::string_view prefix,
+                       MetricsRegistry& registry);
+
+}  // namespace latte::obs

@@ -1,0 +1,34 @@
+#include "obs/manifest.hpp"
+
+#include "obs/json_writer.hpp"
+
+namespace latte::obs {
+
+void WriteRunManifest(const RunManifest& manifest, JsonWriter& json) {
+  json.BeginObject();
+  json.Key("manifest_version").Value(std::size_t{1});
+  json.Key("name").Value(manifest.name);
+  json.Key("seed").Value(static_cast<std::size_t>(manifest.seed));
+  StampHost(json);
+  json.Key("config");
+  if (manifest.config_json.empty()) {
+    json.Raw("null");
+  } else {
+    json.Raw(manifest.config_json);
+  }
+  json.Key("metrics");
+  json.BeginObject();
+  for (const auto& [key, value] : manifest.metrics) {
+    json.Key(key).ValueExact(value);
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+std::string RunManifestJson(const RunManifest& manifest) {
+  JsonWriter json;
+  WriteRunManifest(manifest, json);
+  return json.str();
+}
+
+}  // namespace latte::obs

@@ -1,0 +1,36 @@
+#pragma once
+// Run manifests: one JSON block capturing everything needed to reproduce
+// a recorded run -- the configuration (pre-serialized JSON, e.g. a
+// DesignPointToJson dump), the seed, a host stamp, and the headline
+// metrics the run produced.  This is the ROADMAP's run-manifest
+// persistence item in the SET-ISCA2023 JSON-IR idiom: provenance is
+// captured at the source when the run happens, not reconstructed later.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace latte::obs {
+
+class JsonWriter;
+
+struct RunManifest {
+  std::string name;          ///< what ran ("bench_obs/serving_sweep", ...)
+  std::uint64_t seed = 0;    ///< the run's master seed
+  /// Pre-serialized config JSON (spliced verbatim; empty emits null).
+  /// search/json_io.hpp's ParseJson round-trips it.
+  std::string config_json;
+  /// Headline metrics, emitted in the given order with %.17g values so a
+  /// reader recovers the exact doubles.
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Emits {"manifest_version":1,"name":...,"seed":...,"host":{...},
+/// "config":<raw>,"metrics":{...}} into `json`.
+void WriteRunManifest(const RunManifest& manifest, JsonWriter& json);
+
+/// Convenience: the manifest as a standalone JSON document.
+std::string RunManifestJson(const RunManifest& manifest);
+
+}  // namespace latte::obs

@@ -1,0 +1,62 @@
+#include "obs/percentiles.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace latte::obs {
+
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double PercentileOfWindow(const std::vector<double>& window,
+                          std::size_t count, double p) {
+  if (count == 0) return 0;
+  std::vector<double> sorted(
+      window.begin(),
+      window.begin() + static_cast<std::ptrdiff_t>(std::min(count,
+                                                            window.size())));
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileOfSorted(sorted, p);
+}
+
+FixedHistogram::FixedHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi) {
+  if (!(hi > lo)) {
+    throw std::invalid_argument("FixedHistogram: hi must exceed lo (got [" +
+                                std::to_string(lo) + ", " +
+                                std::to_string(hi) + "))");
+  }
+  if (buckets == 0) {
+    throw std::invalid_argument("FixedHistogram: needs at least one bucket");
+  }
+  width_ = (hi - lo) / static_cast<double>(buckets);
+  counts_.assign(buckets, 0);
+}
+
+void FixedHistogram::Record(double v) {
+  std::size_t b = 0;
+  if (v >= hi_) {
+    b = counts_.size() - 1;
+  } else if (v > lo_) {
+    b = static_cast<std::size_t>((v - lo_) / width_);
+    if (b >= counts_.size()) b = counts_.size() - 1;  // edge rounding
+  }
+  ++counts_[b];
+  ++total_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+double FixedHistogram::bucket_lo(std::size_t bucket) const {
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+}  // namespace latte::obs

@@ -1,0 +1,90 @@
+#include "obs/registry.hpp"
+
+#include <stdexcept>
+
+#include "obs/json_writer.hpp"
+
+namespace latte::obs {
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return it->second;
+}
+
+FixedHistogram& MetricsRegistry::histogram(std::string_view name, double lo,
+                                           double hi, std::size_t buckets) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), FixedHistogram(lo, hi, buckets))
+             .first;
+    return it->second;
+  }
+  FixedHistogram& h = it->second;
+  if (h.lo() != lo || h.hi() != hi || h.bucket_count() != buckets) {
+    throw std::invalid_argument(
+        "MetricsRegistry::histogram: '" + std::string(name) +
+        "' re-registered with a different shape (recorded counts would be "
+        "misread against the new buckets)");
+  }
+  return h;
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, c] : counters_) {
+    json.Key(name).Value(static_cast<std::size_t>(c.value()));
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, g] : gauges_) {
+    json.Key(name).ValueExact(g.value());
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    json.Key(name);
+    json.BeginObject();
+    json.Key("lo").ValueExact(h.lo());
+    json.Key("hi").ValueExact(h.hi());
+    json.Key("total").Value(static_cast<std::size_t>(h.total()));
+    json.Key("sum").ValueExact(h.sum());
+    json.Key("counts");
+    json.BeginArray();
+    for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+      json.Value(static_cast<std::size_t>(h.count(b)));
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter json;
+  WriteJson(json);
+  return json.str();
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace latte::obs

@@ -1,0 +1,79 @@
+#pragma once
+// Named metrics registry: counters, gauges and fixed-bucket histograms
+// addressed by string name, exported as one deterministic JSON snapshot.
+//
+// The registry replaces the bespoke structs-only paths (AdmissionStats,
+// CacheStats, ThreadPool counters each needed hand-written plumbing to
+// reach a report) with one sink: library code registers what it knows,
+// exporters in obs/export.cpp bridge the existing structs in, and
+// ToJson() emits every metric name-sorted -- the snapshot is a pure
+// function of the recorded values, independent of registration order,
+// which is what lets CI diff it against a baseline.
+//
+// Handles returned by counter()/gauge()/histogram() stay valid for the
+// registry's lifetime (std::map nodes never move).  Not thread-safe by
+// design: metrics are recorded on the control thread alongside the
+// virtual-time event loop; worker-side facts (pool queue depth, tasks
+// run) are sampled from the control thread via their own atomics.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/percentiles.hpp"
+
+namespace latte::obs {
+
+class JsonWriter;
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins sampled value.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named metric.  histogram() requires a shape on
+  /// first registration; later lookups of the same name ignore the shape
+  /// arguments and throw if they disagree with the registered one (a
+  /// silent shape change would corrupt the recorded distribution).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  FixedHistogram& histogram(std::string_view name, double lo, double hi,
+                            std::size_t buckets);
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Emits {"counters":{...},"gauges":{...},"histograms":{...}} with every
+  /// section name-sorted.  Counter values are integers, gauges %.17g
+  /// (hex-exact round-trip), histogram buckets integer counts.
+  void WriteJson(JsonWriter& json) const;
+  std::string ToJson() const;
+
+  void Clear();
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, FixedHistogram, std::less<>> histograms_;
+};
+
+}  // namespace latte::obs

@@ -64,6 +64,9 @@ class BatchRunner {
   /// Items executed across all Run() calls (utilization accounting).
   std::size_t items_completed() const { return items_completed_; }
 
+  /// The underlying pool, for health metrics (obs::ExportThreadPoolStats).
+  const ThreadPool& pool() const { return pool_; }
+
  private:
   ThreadPool pool_;
   std::vector<Workspace> workspaces_;

@@ -1,6 +1,7 @@
 #include "runtime/shard_exec.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "tensor/matmul.hpp"
 
@@ -13,12 +14,43 @@ ShardExecutor::ShardExecutor(std::size_t shards, std::size_t threads)
   }
 }
 
+void ShardExecutor::SetTracer(obs::Tracer* tracer, std::uint32_t track_base,
+                              std::string_view label_prefix) {
+  tracer_ = tracer;
+  track_base_ = track_base;
+  if (tracer_ == nullptr) return;
+  for (std::size_t s = 0; s < shard_ws_.size(); ++s) {
+    tracer_->RegisterTrack(track_base_ + static_cast<std::uint32_t>(s),
+                           std::string(label_prefix) + "shard " +
+                               std::to_string(s));
+  }
+}
+
 void ShardExecutor::RunStage(
     const std::function<void(std::size_t, Workspace&)>& fn) {
   for (std::size_t s = 0; s < shard_ws_.size(); ++s) {
     pool_.Submit([this, &fn, s] { fn(s, shard_ws_[s]); });
   }
   pool_.Wait();
+  if (tracer_ != nullptr) {
+    // Recorded from the caller thread after the barrier: one span per
+    // shard, stage k covering pseudo virtual time [k, k+1).  Nothing here
+    // depends on which pool thread ran which shard.
+    const double begin = static_cast<double>(stage_seq_);
+    const double wall = tracer_->WallStamp();
+    for (std::size_t s = 0; s < shard_ws_.size(); ++s) {
+      obs::TraceEvent e;
+      e.kind = obs::SpanKind::kStage;
+      e.begin_s = begin;
+      e.end_s = begin + 1.0;
+      e.wall_s = wall;
+      e.id = stage_seq_;
+      e.arg = static_cast<std::int64_t>(s);
+      e.track = track_base_ + static_cast<std::uint32_t>(s);
+      tracer_->Record(e);
+    }
+  }
+  ++stage_seq_;
 }
 
 void ShardExecutor::ReducePartialsInto(std::size_t rows, std::size_t cols,

@@ -20,9 +20,12 @@
 // the sharded encoder's bit-exactness and byte-determinism rest on this.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <string_view>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/workspace.hpp"
 #include "tensor/matrix.hpp"
@@ -68,6 +71,17 @@ class ShardExecutor {
   /// all complete; rethrows the first task exception.
   void RunStage(const std::function<void(std::size_t, Workspace&)>& fn);
 
+  /// Attaches a tracer (not owned; pass nullptr to detach).  Every
+  /// subsequent stage records one kStage span per shard on track
+  /// `track_base + shard`, in a pseudo virtual time where stage k covers
+  /// [k, k+1).  Spans are recorded from the caller thread after the stage
+  /// barrier, so the trace is byte-identical at any pool thread count.
+  void SetTracer(obs::Tracer* tracer, std::uint32_t track_base = 0,
+                 std::string_view label_prefix = {});
+
+  /// Stages executed since construction (the kStage pseudo-clock).
+  std::uint64_t stages_run() const { return stage_seq_; }
+
   /// Fixed-order reduction of the row-parallel partials: copies comm slot
   /// kPartialBase + 0 into `out` and adds slots kPartialBase + 1 ... in
   /// ascending shard order.  The order never varies, so reduced results
@@ -85,6 +99,9 @@ class ShardExecutor {
   ThreadPool pool_;
   std::vector<Workspace> shard_ws_;
   Workspace comm_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t track_base_ = 0;
+  std::uint64_t stage_seq_ = 0;
 };
 
 }  // namespace latte

@@ -51,6 +51,11 @@ std::size_t ThreadPool::completed() const {
   return completed_;
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 std::size_t ThreadPool::task_errors() const {
   std::lock_guard<std::mutex> lock(mu_);
   return task_errors_;

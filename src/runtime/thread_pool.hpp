@@ -59,6 +59,11 @@ class ThreadPool {
   /// Tasks executed since construction (for tests / utilization metrics).
   std::size_t completed() const;
 
+  /// Tasks queued but not yet picked up by a worker.  A point-in-time
+  /// health gauge (obs exports it); inherently racy against the workers,
+  /// exact only when the pool is idle.
+  std::size_t queue_depth() const;
+
   /// Task exceptions captured since construction, including ones beyond
   /// the first of a batch that Wait() could not rethrow.  A caller that
   /// saw Wait() throw once can compare this across barriers to tell a

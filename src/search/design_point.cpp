@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "bench/json_writer.hpp"
+#include "obs/json_writer.hpp"
 
 namespace latte::search {
 
@@ -144,7 +144,7 @@ ClusterConfig ClusterConfigFromDesignPoint(const DesignPoint& dp) {
   return cfg;
 }
 
-void WriteDesignPointJson(bench::JsonWriter& json, const DesignPoint& dp) {
+void WriteDesignPointJson(obs::JsonWriter& json, const DesignPoint& dp) {
   json.BeginObject();
   json.Key("replicas").BeginArray();
   for (const ReplicaDesign& rd : dp.replicas) {
@@ -215,7 +215,7 @@ void WriteDesignPointJson(bench::JsonWriter& json, const DesignPoint& dp) {
 }
 
 std::string DesignPointToJson(const DesignPoint& dp) {
-  bench::JsonWriter json;
+  obs::JsonWriter json;
   WriteDesignPointJson(json, dp);
   return json.str();
 }

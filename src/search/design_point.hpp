@@ -32,10 +32,10 @@
 #include "search/json_io.hpp"
 #include "serve/engine.hpp"
 
-namespace latte::bench {
-class JsonWriter;  // bench/json_writer.hpp; only referenced here, so the
+namespace latte::obs {
+class JsonWriter;  // obs/json_writer.hpp; only referenced here, so the
                    // public umbrella stays consumable with -I src alone
-}  // namespace latte::bench
+}  // namespace latte::obs
 
 namespace latte::search {
 
@@ -83,7 +83,7 @@ ClusterConfig ClusterConfigFromDesignPoint(const DesignPoint& dp);
 /// Emits the design as one JSON object value into an open writer (the
 /// caller has already positioned a Key).  Doubles use ValueExact, so the
 /// round-trip is bit-exact.
-void WriteDesignPointJson(bench::JsonWriter& json, const DesignPoint& dp);
+void WriteDesignPointJson(obs::JsonWriter& json, const DesignPoint& dp);
 
 /// The design as a standalone JSON document.
 std::string DesignPointToJson(const DesignPoint& dp);

@@ -45,6 +45,7 @@ DispatchSchedule ScheduleWithPricing(
   sched.launch_s.reserve(batches.size());
   sched.done_s.reserve(batches.size());
   sched.service_s.reserve(batches.size());
+  sched.worker_of.reserve(batches.size());
 
   std::vector<double> worker_free(workers, 0.0);
   std::vector<double> latencies;
@@ -63,6 +64,8 @@ DispatchSchedule ScheduleWithPricing(
     sched.launch_s.push_back(launch);
     sched.done_s.push_back(done);
     sched.service_s.push_back(service_s);
+    sched.worker_of.push_back(
+        static_cast<std::size_t>(free_it - worker_free.begin()));
   }
 
   double span = 0;

@@ -39,6 +39,10 @@ struct DispatchSchedule {
   std::vector<double> launch_s;   ///< per batch: dispatch time
   std::vector<double> done_s;     ///< per batch: completion time
   std::vector<double> service_s;  ///< per batch: modeled service time
+  /// Per batch: the earliest-free worker slot that served it.  Purely an
+  /// attribution record (the tracer's worker tracks); scheduling itself
+  /// only ever needed the slot's free time.
+  std::vector<std::size_t> worker_of;
 };
 
 /// Schedules `batches` (in order) onto `workers` earliest-free slots and

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "adapt/escalate.hpp"
+#include "obs/percentiles.hpp"
 #include "workload/synthetic.hpp"
 
 namespace latte {
@@ -51,6 +52,9 @@ ConfigIssues CheckServingEngineConfig(const ServingEngineConfig& cfg) {
   }
   if (cfg.backend == BackendMode::kSharded) {
     MergePrefixed(issues, "shard", CheckShardServiceConfig(cfg.shard));
+  }
+  if (cfg.trace.enabled) {
+    MergePrefixed(issues, "trace", obs::CheckTraceConfig(cfg.trace));
   }
   if (cfg.adapt.enabled) {
     MergePrefixed(issues, "adapt", CheckAdaptiveServingConfig(cfg.adapt));
@@ -136,6 +140,73 @@ ServingEngine::ServingEngine(const ModelInstance& model,
     cache_ = std::make_shared<ResultCache>(cfg_.cache);
   }
   worker_free_.assign(cfg_.workers, 0.0);
+  if (cfg_.trace.enabled) {
+    owned_tracer_ = std::make_unique<obs::Tracer>(cfg_.trace);
+    AttachTracer(owned_tracer_.get(), /*track_base=*/0);
+  }
+}
+
+void ServingEngine::AttachTracer(obs::Tracer* tracer, std::uint32_t track_base,
+                                 std::string_view label_prefix) {
+  if (owned_tracer_ != nullptr && tracer != owned_tracer_.get()) {
+    owned_tracer_.reset();
+  }
+  tracer_ = tracer;
+  track_base_ = track_base;
+  if (controller_) controller_->SetTracer(nullptr, 0);
+  if (tracer_ == nullptr) return;
+  const std::string prefix(label_prefix);
+  for (std::size_t w = 0; w < cfg_.workers; ++w) {
+    tracer_->RegisterTrack(track_base_ + static_cast<std::uint32_t>(w),
+                           prefix + "worker " + std::to_string(w));
+  }
+  tracer_->RegisterTrack(control_track(), prefix + "control");
+  if (controller_) controller_->SetTracer(tracer_, control_track());
+}
+
+void ServingEngine::RecordInstant(obs::SpanKind kind, double t,
+                                  std::uint64_t id, std::int64_t arg) {
+  RecordSpan(kind, t, t, id, arg, control_track());
+}
+
+void ServingEngine::RecordSpan(obs::SpanKind kind, double begin_s,
+                               double end_s, std::uint64_t id,
+                               std::int64_t arg, std::uint32_t track) {
+  obs::TraceEvent e;
+  e.kind = kind;
+  e.begin_s = begin_s;
+  e.end_s = end_s;
+  e.wall_s = tracer_->WallStamp();
+  e.id = id;
+  e.arg = arg;
+  e.track = track;
+  tracer_->Record(e);
+}
+
+void ServingEngine::EmitScheduleSpans(const DispatchSchedule& sched) {
+  const bool adaptive = controller_.has_value();
+  for (std::size_t b = 0; b < sealed_.size(); ++b) {
+    const FormedBatch& batch = sealed_[b];
+    const double launch = sched.launch_s[b];
+    const double done = sched.done_s[b];
+    for (std::size_t idx : batch.indices) {
+      RecordSpan(obs::SpanKind::kQueueWait, admitted_[idx].arrival_s, launch,
+                 offered_ids_[idx], static_cast<std::int64_t>(b),
+                 control_track());
+    }
+    // The batch itself lands on the worker slot the earliest-free
+    // recurrence picked -- the same attribution at any thread count.
+    const std::int64_t arg =
+        adaptive ? static_cast<std::int64_t>(batch.tier)
+                 : static_cast<std::int64_t>(batch.indices.size());
+    RecordSpan(obs::SpanKind::kService, launch, done, b, arg,
+               track_base_ + static_cast<std::uint32_t>(sched.worker_of[b]));
+    for (std::size_t idx : batch.indices) {
+      if (adaptive && superseded_[idx] != 0) continue;
+      RecordInstant(obs::SpanKind::kComplete, done, offered_ids_[idx],
+                    static_cast<std::int64_t>(b));
+    }
+  }
 }
 
 bool ServingEngine::Push(const TimedRequest& request,
@@ -220,6 +291,11 @@ bool ServingEngine::PushImpl(const TimedRequest& request, MatrixF input) {
           served.output = entry->value;  // copy now: eviction-safe
         }
         last_completion_ = std::max(last_completion_, served.done_s);
+        if (tracer_ != nullptr) {
+          RecordSpan(obs::SpanKind::kCacheHit, served.arrival_s, served.done_s,
+                     ordinal, static_cast<std::int64_t>(request.length),
+                     control_track());
+        }
         cache_served_.push_back(std::move(served));
         return true;
       }
@@ -234,11 +310,19 @@ bool ServingEngine::PushImpl(const TimedRequest& request, MatrixF input) {
   const std::size_t waiting = admitted_.size() - launched_;
   if (cfg_.queue_capacity > 0 && waiting >= cfg_.queue_capacity) {
     ++admission_.rejected;
+    if (tracer_ != nullptr) {
+      RecordInstant(obs::SpanKind::kReject, request.arrival_s, ordinal,
+                    static_cast<std::int64_t>(waiting));
+    }
     return false;
   }
   ++admission_.accepted;
   admission_.peak_queue = std::max(admission_.peak_queue, waiting + 1);
   waiting_tokens_ += request.length;
+  if (tracer_ != nullptr) {
+    RecordInstant(obs::SpanKind::kAdmit, request.arrival_s, ordinal,
+                  static_cast<std::int64_t>(request.length));
+  }
 
   // Forming, mirroring FormBatches: a token-budget overflow seals the open
   // batch at this arrival and the request starts the next batch; the first
@@ -282,6 +366,10 @@ bool ServingEngine::PushAdaptive(const TimedRequest& request, MatrixF input,
   const std::size_t waiting = admitted_.size() - launched_;
   if (cfg_.queue_capacity > 0 && waiting >= cfg_.queue_capacity) {
     ++admission_.rejected;  // shed: the ladder's last resort
+    if (tracer_ != nullptr) {
+      RecordInstant(obs::SpanKind::kReject, request.arrival_s, ordinal,
+                    static_cast<std::int64_t>(waiting));
+    }
     return false;
   }
   bool escalate = false;
@@ -338,6 +426,10 @@ void ServingEngine::AdmitToTier(std::size_t tier, const TimedRequest& request,
   superseded_.push_back(0);
   escalate_flag_.push_back(escalate ? 1 : 0);
   waiting_tokens_ += request.length;
+  if (tracer_ != nullptr) {
+    RecordInstant(obs::SpanKind::kAdmit, request.arrival_s, ordinal,
+                  static_cast<std::int64_t>(tier));
+  }
   ot.members.push_back(admitted_.size() - 1);
   ot.tokens += request.length;
   if (ot.members.size() >= cfg_.former.max_batch) {
@@ -360,6 +452,10 @@ void ServingEngine::SealOpenTier(std::size_t tier, BatchSeal seal,
                      [this](std::size_t a, std::size_t c) {
                        return admitted_[a].length > admitted_[c].length;
                      });
+  }
+  if (tracer_ != nullptr) {
+    RecordSpan(obs::SpanKind::kForm, b.open_s, b.ready_s, sealed_.size(),
+               static_cast<std::int64_t>(seal), control_track());
   }
   sealed_.push_back(std::move(b));
   ++tier_batches_[tier];
@@ -424,6 +520,11 @@ void ServingEngine::RunAdaptiveEvents(double now, bool drain) {
           planned_acc_sum_ +=
               cfg_.adapt.tiers[0].accuracy - cfg_.adapt.tiers[b_tier].accuracy;
           ++tier_escalated_[b_tier];
+          if (tracer_ != nullptr) {
+            RecordInstant(obs::SpanKind::kEscalate, t_complete,
+                          offered_ids_[idx],
+                          static_cast<std::int64_t>(b_tier));
+          }
           TimedRequest rerun = admitted_[idx];
           rerun.arrival_s = t_complete;
           AdmitToTier(0, rerun, MatrixF(inputs_[idx]), offered_ids_[idx],
@@ -522,6 +623,11 @@ void ServingEngine::CompleteAdmitted(std::size_t idx, double done_s) {
                                  cache_->config()),
                  cache_epoch_ + done_s, idx, this);
   for (const CoalescedFollower& f : inflight_.Complete(key)) {
+    if (tracer_ != nullptr) {
+      RecordSpan(obs::SpanKind::kCacheCoalesce, f.arrival_s, done_s,
+                 f.offered_id, static_cast<std::int64_t>(idx),
+                 control_track());
+    }
     CacheServedRequest served;
     served.offered_id = f.offered_id;
     served.arrival_s = f.arrival_s;
@@ -574,6 +680,10 @@ void ServingEngine::SealOpen(BatchSeal seal, double ready_s) {
                        return admitted_[a].length > admitted_[c].length;
                      });
   }
+  if (tracer_ != nullptr) {
+    RecordSpan(obs::SpanKind::kForm, b.open_s, b.ready_s, sealed_.size(),
+               static_cast<std::int64_t>(seal), control_track());
+  }
   sealed_.push_back(std::move(b));
   open_active_ = false;
 }
@@ -587,29 +697,27 @@ ServingResult ServingEngine::DrainAdaptive() {
   result.schedule =
       ScheduleFormedBatches(admitted_, sealed_, cfg_.workers, tier_services_);
   result.admission = admission_;
+  if (tracer_ != nullptr) EmitScheduleSpans(result.schedule);
 
   // The recomputed report must not count superseded first passes (their
   // re-runs carry the request), and an escalated request's latency runs
   // from its *original* arrival to its re-run's completion.  Rebuild the
   // pooled numbers from root arrivals.
-  std::vector<double> latencies;
-  latencies.reserve(admitted_.size());
-  double first_arrival = std::numeric_limits<double>::infinity();
-  double last_done = 0;
+  obs::LatencyPool pool;
+  pool.latencies.reserve(admitted_.size());
   double busy_s = 0;
   for (std::size_t b = 0; b < sealed_.size(); ++b) {
     const double done = result.schedule.done_s[b];
     for (std::size_t idx : sealed_[b].indices) {
       if (superseded_[idx] != 0) continue;
-      latencies.push_back(done - root_arrival_[idx]);
-      first_arrival = std::min(first_arrival, root_arrival_[idx]);
+      pool.Add(root_arrival_[idx], done);
     }
-    last_done = std::max(last_done, done);
+    pool.ExtendSpan(done);
     busy_s += result.schedule.service_s[b];  // first passes burn real time
   }
-  const double span = latencies.empty() ? 0 : last_done - first_arrival;
-  result.schedule.report = BuildServingReport(latencies, sealed_.size(),
-                                              busy_s, span, cfg_.workers);
+  result.schedule.report = BuildServingReport(pool.latencies, sealed_.size(),
+                                              busy_s, pool.span(),
+                                              cfg_.workers);
   result.schedule.report.mean_accuracy =
       planned_count_ == 0
           ? 1.0
@@ -678,6 +786,7 @@ ServingResult ServingEngine::Drain() {
   result.schedule =
       ScheduleFormedBatches(admitted_, sealed_, cfg_.workers, cfg_.service);
   result.admission = admission_;
+  if (tracer_ != nullptr) EmitScheduleSpans(result.schedule);
 
   if (cache_ != nullptr) {
     // Publish every batch that had not completed by the last arrival.
@@ -744,29 +853,23 @@ ServingResult ServingEngine::Drain() {
     // Pooled report: admitted requests take their batch's completion,
     // cache-served requests their own virtual completion, so p99 and
     // throughput reflect what the caller experienced end to end.
-    std::vector<double> latencies;
-    latencies.reserve(admitted_.size() + cache_served_.size());
-    double first_arrival = std::numeric_limits<double>::infinity();
-    double last_done = 0;
+    obs::LatencyPool pool;
+    pool.latencies.reserve(admitted_.size() + cache_served_.size());
     double busy_s = 0;
     for (std::size_t b = 0; b < sealed_.size(); ++b) {
       const double done = result.schedule.done_s[b];
       for (std::size_t idx : sealed_[b].indices) {
-        latencies.push_back(done - admitted_[idx].arrival_s);
-        first_arrival = std::min(first_arrival, admitted_[idx].arrival_s);
+        pool.Add(admitted_[idx].arrival_s, done);
       }
-      last_done = std::max(last_done, done);
+      pool.ExtendSpan(done);
       busy_s += result.schedule.service_s[b];
     }
     for (const CacheServedRequest& served : cache_served_) {
-      latencies.push_back(served.done_s - served.arrival_s);
-      first_arrival = std::min(first_arrival, served.arrival_s);
-      last_done = std::max(last_done, served.done_s);
+      pool.Add(served.arrival_s, served.done_s);
     }
-    const double span =
-        latencies.empty() ? 0 : last_done - first_arrival;
-    result.schedule.report = BuildServingReport(latencies, sealed_.size(),
-                                                busy_s, span, cfg_.workers);
+    result.schedule.report = BuildServingReport(pool.latencies, sealed_.size(),
+                                                busy_s, pool.span(),
+                                                cfg_.workers);
 
     result.cache = cache_stats_;
     result.cache.store = cache_->stats();

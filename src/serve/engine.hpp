@@ -48,6 +48,7 @@
 #include "cache/store.hpp"
 #include "config/check.hpp"
 #include "model/inference.hpp"
+#include "obs/trace.hpp"
 #include "serve/dispatch.hpp"
 #include "serve/shard_service.hpp"
 
@@ -105,6 +106,10 @@ struct ServingEngineConfig {
   /// priced by `service` (accounting-neutral degradation; useful in
   /// tests).  Read only when `adapt.enabled`.
   std::vector<BatchServiceModel> tier_services;
+  /// Request-lifecycle tracing (obs/trace.hpp).  Disabled by default; the
+  /// disabled path costs one pointer check per instrumentation site and
+  /// leaves every output and report bit-exact vs a pre-obs engine.
+  obs::TraceConfig trace;
 };
 
 /// Names every illegal field (nested former/cache/shard issues carry
@@ -287,6 +292,20 @@ class ServingEngine {
   /// store sees one coherent timeline.
   void AlignCacheEpoch(double epoch);
 
+  /// Points the engine at an externally owned tracer (the cluster's
+  /// fleet tracer), recording on tracks [track_base, track_base + workers]
+  /// -- one per virtual worker slot plus a control lane.  Track labels get
+  /// `label_prefix` prepended ("r0/worker 1").  Null detaches.  Replaces
+  /// the engine-owned tracer cfg.trace.enabled would have created.
+  void AttachTracer(obs::Tracer* tracer, std::uint32_t track_base,
+                    std::string_view label_prefix = {});
+
+  /// The active tracer (engine-owned or attached); null when disabled.
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /// The batched execution runtime, for pool-health metrics export.
+  const BatchRunner& runner() const { return runner_; }
+
  private:
   bool PushImpl(const TimedRequest& request, MatrixF input);
   CacheKey KeyFor(const TimedRequest& request, const MatrixF& input) const;
@@ -294,6 +313,19 @@ class ServingEngine {
   void ProcessCacheCompletions(double now);
   void CompleteAdmitted(std::size_t idx, double done_s);
   void ResetStream();
+
+  // Tracing (all no-ops when tracer_ is null).
+  std::uint32_t control_track() const {
+    return track_base_ + static_cast<std::uint32_t>(cfg_.workers);
+  }
+  void RecordInstant(obs::SpanKind kind, double t, std::uint64_t id,
+                     std::int64_t arg);
+  void RecordSpan(obs::SpanKind kind, double begin_s, double end_s,
+                  std::uint64_t id, std::int64_t arg, std::uint32_t track);
+  /// Drain-time pass: per-request queue-wait spans and completion
+  /// instants on the control track, per-batch service spans on the
+  /// worker track the earliest-free recurrence picked.
+  void EmitScheduleSpans(const DispatchSchedule& sched);
 
   // Adaptive path (controller_ engaged).
   bool PushAdaptive(const TimedRequest& request, MatrixF input,
@@ -313,6 +345,11 @@ class ServingEngine {
   const ModelInstance& model_;
   ServingEngineConfig cfg_;
   BatchRunner runner_;
+
+  // Tracing (null when disabled; owned unless a cluster attached one).
+  std::unique_ptr<obs::Tracer> owned_tracer_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t track_base_ = 0;
 
   // Stream state (virtual time).
   std::vector<TimedRequest> admitted_;

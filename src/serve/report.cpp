@@ -2,15 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/percentiles.hpp"
+
 namespace latte {
 
 double PercentileOfSorted(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const double pos = p * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const auto hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  // Forwarder: the one canonical implementation lives in obs/percentiles
+  // (shared with cluster/accounting, adapt and fpga/serving).
+  return obs::PercentileOfSorted(sorted, p);
 }
 
 ServingReport BuildServingReport(std::vector<double>& latencies,
