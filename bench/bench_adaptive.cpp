@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "json_writer.hpp"
+#include "obs/json_writer.hpp"
 
 namespace latte {
 namespace {
@@ -223,11 +223,11 @@ int main(int argc, char** argv) {
                         lower_reject_than_baselines && thread_identical &&
                         det_degraded > 0;
 
-  bench::JsonWriter json;
+  obs::JsonWriter json;
   json.BeginObject();
   json.Key("bench").Value("adaptive");
   json.Key("schema_version").Value(std::size_t{1});
-  bench::StampHost(json);
+  obs::StampHost(json);
   json.Key("dataset").Value(dataset.name);
   json.Key("accel_model").Value(accel_model.name);
   json.Key("slo_ms").Value(slo_s * 1e3);

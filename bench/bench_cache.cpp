@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "json_writer.hpp"
+#include "obs/json_writer.hpp"
 
 namespace latte {
 namespace {
@@ -118,7 +118,7 @@ int main(int argc, char** argv) {
   }
   headline = headline && any_gated_cell;
 
-  bench::JsonWriter json;
+  obs::JsonWriter json;
   json.BeginObject();
   json.Key("bench").Value("cache");
   json.Key("schema_version").Value(std::size_t{1});

@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "json_writer.hpp"
+#include "obs/json_writer.hpp"
 #include "latte/latte.hpp"
 
 namespace latte {
@@ -155,7 +155,7 @@ int main(int argc, char** argv) {
   const double geomean = std::exp(log_sum / results.size());
   std::printf("  min speedup %.2fx, geomean %.2fx\n", min_speedup, geomean);
 
-  bench::JsonWriter json;
+  obs::JsonWriter json;
   json.BeginObject();
   json.Key("bench").Value("kernels");
   json.Key("schema_version").Value(std::size_t{1});

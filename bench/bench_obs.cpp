@@ -14,9 +14,19 @@
 //                   per event; the headline bit gates overhead < 3%.
 //   * bit_exact  -- tracing on changes nothing: outputs and the
 //                   virtual-time report are bit-identical vs untraced.
-//   * determinism-- the exported Chrome trace and metrics snapshot are
-//                   byte-identical at 1 and 4 runner threads, and a tiny
-//                   ring buffer accounts every dropped event exactly.
+//   * determinism-- the exported Chrome trace, metrics snapshot, latency
+//                   breakdown and flame file are byte-identical at 1 and
+//                   4 runner threads, and a tiny ring buffer accounts
+//                   every dropped event exactly.
+//   * breakdown  -- per-request latency attribution (obs/analyze): every
+//                   request's stage segments tile its end-to-end latency
+//                   gap-free, the breakdown percentiles match the pooled
+//                   report bitwise, and the artifacts (BREAKDOWN_obs.json,
+//                   FLAME_obs.txt) gate against recorded baselines.
+//   * capture    -- .lattetrace round-trip (workload/trace_io): the bench
+//                   load serializes, reloads and replays bit-exactly, and
+//                   the canonical capture under bench/traces/ still
+//                   matches the generator.
 
 #include <algorithm>
 #include <chrono>
@@ -24,7 +34,9 @@
 #include <string>
 
 #include "bench_common.hpp"
-#include "json_writer.hpp"
+#include "obs/analyze.hpp"
+#include "obs/json_writer.hpp"
+#include "workload/trace_io.hpp"
 
 namespace latte {
 namespace {
@@ -102,6 +114,13 @@ int main(int argc, char** argv) {
   using namespace latte;
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_obs.json";
   const std::string trace_path = argc > 2 ? argv[2] : "TRACE_obs.json";
+  const std::string breakdown_path =
+      argc > 3 ? argv[3] : "BREAKDOWN_obs.json";
+  const std::string flame_path = argc > 4 ? argv[4] : "FLAME_obs.txt";
+  // The canonical capture, committed with the repo; CI runs from the
+  // repo root so the path resolves.
+  const std::string lattetrace_path =
+      argc > 5 ? argv[5] : "bench/traces/obs_load.lattetrace";
 
   const ModelConfig func_model = ScaledDown(BertBase(), 6);
   const ModelInstance model(func_model, 2022);
@@ -111,7 +130,7 @@ int main(int argc, char** argv) {
   json.BeginObject();
   json.Key("bench").Value("obs");
   json.Key("schema_version").Value(std::size_t{1});
-  bench::StampHost(json);
+  obs::StampHost(json);
   json.Key("functional_model").Value(func_model.name);
   json.Key("requests").Value(requests);
   json.Key("workers").Value(std::size_t{2});
@@ -197,24 +216,85 @@ int main(int argc, char** argv) {
   json.Key("report_identical").Value(report_identical);
   json.EndObject();
 
-  // ----------------------------------------------------- determinism cell --
+  // ------------------------------------- determinism + attribution cells --
+  // One pair of traced runs feeds both: the {1,4}-thread byte-identity
+  // gate now also covers the analysis artifacts (breakdown JSON + flame),
+  // and the 1-thread run's attribution is the recorded baseline.
   std::string trace_1t, metrics_1t, trace_4t, metrics_4t;
+  std::string breakdown_1t, breakdown_4t, flame_1t, flame_4t;
+  bool matches_report = false;
+  obs::LatencyBreakdown bd;
   {
     ServingEngine one(model, ObsEngineConfig(1, true));
     const ServingResult res1 = one.Replay(load);
     trace_1t = obs::ChromeTraceJson(*one.tracer());
     metrics_1t = MetricsSnapshot(one, res1);
+    const obs::Attribution att1 = obs::AttributeTracer(*one.tracer());
+    bd = obs::ComputeBreakdown(att1);
+    breakdown_1t = obs::BreakdownJson(bd);
+    flame_1t = obs::CollapsedStacks(att1.requests);
+    matches_report = obs::BreakdownMatchesReport(bd, res1.report());
     ServingEngine four(model, ObsEngineConfig(4, true));
     const ServingResult res4 = four.Replay(load);
     trace_4t = obs::ChromeTraceJson(*four.tracer());
     metrics_4t = MetricsSnapshot(four, res4);
+    const obs::Attribution att4 = obs::AttributeTracer(*four.tracer());
+    breakdown_4t = obs::BreakdownJson(obs::ComputeBreakdown(att4));
+    flame_4t = obs::CollapsedStacks(att4.requests);
   }
   const bool byte_identical = trace_1t == trace_4t && metrics_1t == metrics_4t;
+  const bool analysis_identical =
+      breakdown_1t == breakdown_4t && flame_1t == flame_4t;
   json.Key("determinism");
   json.BeginObject();
   json.Key("trace_bytes").Value(trace_1t.size());
   json.Key("metrics_bytes").Value(metrics_1t.size());
   json.Key("byte_identical").Value(byte_identical);
+  json.Key("analysis_identical").Value(analysis_identical);
+  json.EndObject();
+
+  json.Key("breakdown");
+  json.BeginObject();
+  json.Key("requests").Value(bd.requests);
+  json.Key("rejected").Value(bd.rejected);
+  json.Key("unattributed").Value(bd.unattributed);
+  json.Key("stages").Value(bd.stages.size());
+  json.Key("gap_free").Value(bd.gap_free);
+  json.Key("reconstruction_exact").Value(bd.reconstruction_exact);
+  json.Key("matches_report").Value(matches_report);
+  json.Key("dominant_tail_stage").Value(obs::StageName(bd.tail.dominant));
+  json.Key("flame_bytes").Value(flame_1t.size());
+  json.EndObject();
+
+  // ---------------------------------------------------------- capture cell --
+  // .lattetrace round-trip: serialize -> parse -> serialize is
+  // byte-stable, the canonical committed capture still matches what the
+  // generator produces today, and replaying the loaded trace reproduces
+  // the exact analysis artifacts of the generated one.
+  const std::string captured = TraceToJson(load);
+  const bool roundtrip_identical =
+      TraceToJson(TraceFromJson(captured)) == captured;
+  std::vector<TimedRequest> from_file;
+  const bool file_loaded = TryLoadTrace(lattetrace_path, from_file);
+  const bool file_matches = file_loaded && TraceToJson(from_file) == captured;
+  bool replay_identical = false;
+  {
+    ServingEngine rep(model, ObsEngineConfig(1, true));
+    rep.Replay(file_loaded ? from_file : TraceFromJson(captured));
+    const obs::Attribution att = obs::AttributeTracer(*rep.tracer());
+    replay_identical =
+        obs::ChromeTraceJson(*rep.tracer()) == trace_1t &&
+        obs::BreakdownJson(obs::ComputeBreakdown(att)) == breakdown_1t &&
+        obs::CollapsedStacks(att.requests) == flame_1t;
+  }
+  json.Key("capture");
+  json.BeginObject();
+  json.Key("trace_bytes").Value(captured.size());
+  json.Key("version").Value(kTraceVersion);
+  json.Key("roundtrip_identical").Value(roundtrip_identical);
+  json.Key("file_loaded").Value(file_loaded);
+  json.Key("file_matches").Value(file_matches);
+  json.Key("replay_identical").Value(replay_identical);
   json.EndObject();
 
   // -------------------------------------------------------- overflow cell --
@@ -270,12 +350,42 @@ int main(int argc, char** argv) {
   std::printf("bit-exact vs untraced: outputs %s, report %s\n",
               outputs_identical ? "yes" : "NO",
               report_identical ? "yes" : "NO");
-  std::printf("byte-identical across {1,4} threads: %s\n",
-              byte_identical ? "yes" : "NO");
+  std::printf("byte-identical across {1,4} threads: export %s, analysis %s\n",
+              byte_identical ? "yes" : "NO",
+              analysis_identical ? "yes" : "NO");
+  std::printf(
+      "attribution: %zu requests, gap-free %s, reconstruction %s, "
+      "report match %s, tail dominated by %s\n",
+      bd.requests, bd.gap_free ? "yes" : "NO",
+      bd.reconstruction_exact ? "yes" : "NO", matches_report ? "yes" : "NO",
+      obs::StageName(bd.tail.dominant));
+  if (!bd.critical_path.empty()) {
+    std::printf("critical path: %s\n", bd.critical_path.c_str());
+  }
+  std::printf(
+      "capture: %zu bytes, roundtrip %s, canonical file %s, replay %s\n",
+      captured.size(), roundtrip_identical ? "ok" : "BROKEN",
+      !file_loaded ? "MISSING"
+                   : (file_matches ? "matches" : "STALE"),
+      replay_identical ? "identical" : "DIVERGED");
   std::printf("overflow: kept %zu, dropped %zu (capacity 8)\n",
               overflow_recorded, overflow_dropped);
   if (!json.WriteFile(out_path)) return 1;
   if (!trace_json.WriteFile(trace_path)) return 1;
-  std::printf("wrote %s and %s\n", out_path.c_str(), trace_path.c_str());
+  obs::JsonWriter breakdown_json;
+  breakdown_json.Raw(breakdown_1t);
+  if (!breakdown_json.WriteFile(breakdown_path)) return 1;
+  {
+    std::FILE* f = std::fopen(flame_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   flame_path.c_str());
+      return 1;
+    }
+    std::fwrite(flame_1t.data(), 1, flame_1t.size(), f);
+    std::fclose(f);
+  }
+  std::printf("wrote %s, %s, %s and %s\n", out_path.c_str(),
+              trace_path.c_str(), breakdown_path.c_str(), flame_path.c_str());
   return 0;
 }

@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "json_writer.hpp"
+#include "obs/json_writer.hpp"
 #include "latte/latte.hpp"
 
 namespace latte {
@@ -183,7 +183,7 @@ int main(int argc, char** argv) {
   const auto workspace = latte::BenchWorkspaceVsPerRowAlloc();
   const auto scaling = latte::BenchBatchRunnerScaling();
 
-  latte::bench::JsonWriter json;
+  latte::obs::JsonWriter json;
   json.BeginObject();
   json.Key("bench").Value("runtime");
   json.Key("schema_version").Value(std::size_t{1});

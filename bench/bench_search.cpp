@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "json_writer.hpp"
+#include "obs/json_writer.hpp"
 
 namespace latte {
 namespace {
@@ -75,7 +75,7 @@ std::vector<Baseline> MakeBaselines() {
   return baselines;
 }
 
-void WriteScore(bench::JsonWriter& json, const DesignScore& s) {
+void WriteScore(obs::JsonWriter& json, const DesignScore& s) {
   json.Key("p99_ms").Value(s.p99_s * 1e3);
   json.Key("throughput_rps").Value(s.throughput_rps);
   json.Key("energy_j").Value(s.energy_j);
@@ -143,11 +143,11 @@ int main(int argc, char** argv) {
   const bool beats_cost = result.best_score.cost <= best_baseline->score.cost;
   const bool headline = beats_p99 && beats_cost && !dominated;
 
-  bench::JsonWriter json;
+  obs::JsonWriter json;
   json.BeginObject();
   json.Key("bench").Value("search");
   json.Key("schema_version").Value(std::size_t{1});
-  bench::StampHost(json);
+  obs::StampHost(json);
   json.Key("trace").BeginObject();
   json.Key("arrival_rps").Value(harness.trace.arrival_rate_rps);
   json.Key("requests").Value(harness.trace.requests);

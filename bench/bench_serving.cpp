@@ -13,7 +13,7 @@
 #include <string>
 
 #include "bench_common.hpp"
-#include "json_writer.hpp"
+#include "obs/json_writer.hpp"
 
 namespace latte {
 namespace {
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   const std::size_t requests = 64;
   const std::size_t workers = 2;
 
-  bench::JsonWriter json;
+  obs::JsonWriter json;
   json.BeginObject();
   json.Key("bench").Value("serving");
   json.Key("schema_version").Value(std::size_t{1});

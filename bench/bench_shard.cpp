@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "json_writer.hpp"
+#include "obs/json_writer.hpp"
 
 namespace latte {
 namespace {
@@ -210,7 +210,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::JsonWriter json;
+  obs::JsonWriter json;
   json.BeginObject();
   json.Key("bench").Value("shard");
   json.Key("schema_version").Value(std::size_t{1});

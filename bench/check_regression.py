@@ -4,7 +4,8 @@
 Compares the current bench outputs (BENCH_kernels.json, BENCH_runtime.json,
 BENCH_serving.json, BENCH_cluster.json, BENCH_cache.json,
 BENCH_shard.json, BENCH_search.json, BENCH_adaptive.json,
-BENCH_obs.json) against the
+BENCH_obs.json, plus the BREAKDOWN_obs.json latency-attribution
+artifact) against the
 recorded baselines in
 bench/baselines/ and
 fails (exit 1) with a delta table when a gated metric regresses beyond the
@@ -85,6 +86,7 @@ class Gate:
         self.tolerance = tolerance
         self.strict = strict
         self.rows = []  # (bench, metric, baseline, current, delta, mode, status)
+        self.notes = []  # (bench, line): attribution strings under the table
         self.failed = False
 
     def _delta(self, base, cur):
@@ -117,6 +119,10 @@ class Gate:
         self.rows.append((bench, what, None, None, None, "exact", FAIL))
         self.failed = True
 
+    def note(self, bench, line):
+        """Free-form attribution line rendered under the delta table."""
+        self.notes.append((bench, line))
+
     def render(self, out, markdown):
         if markdown:
             out.write("### Perf gate (tolerance ±%d%%)\n\n" % (self.tolerance * 100))
@@ -141,6 +147,16 @@ class Gate:
             out.write(fmt.format(bench, metric, num(base), num(cur), d, mode,
                                  status))
         out.write("\n")
+        if self.notes:
+            if markdown:
+                out.write("**Stage attribution**\n\n")
+                for bench, line in self.notes:
+                    out.write("- `%s`: %s\n" % (bench, line))
+            else:
+                out.write("stage attribution:\n")
+                for bench, line in self.notes:
+                    out.write("  [%s] %s\n" % (bench, line))
+            out.write("\n")
 
 
 @bench_compare("BENCH_kernels.json")
@@ -430,6 +446,25 @@ def compare_obs(gate, base, cur):
     gate.check("obs", "determinism.byte_identical",
                base["determinism"]["byte_identical"],
                cur["determinism"]["byte_identical"], "exact")
+    gate.check("obs", "determinism.analysis_identical",
+               base["determinism"]["analysis_identical"],
+               cur["determinism"]["analysis_identical"], "exact")
+    # The attribution contract: every request's stage segments tile its
+    # end-to-end latency with no unattributed gap, the breakdown
+    # percentiles are bitwise the pooled report's, and nothing fell out
+    # of the walk.
+    for field in ("requests", "rejected", "unattributed", "stages",
+                  "gap_free", "reconstruction_exact", "matches_report",
+                  "dominant_tail_stage"):
+        gate.check("obs", "breakdown.%s" % field, base["breakdown"][field],
+                   cur["breakdown"][field], "exact")
+    # The persistence contract: .lattetrace round-trips byte-exactly, the
+    # committed canonical capture still matches the generator, and a
+    # capture -> replay cycle reproduces the exact analysis artifacts.
+    for field in ("version", "roundtrip_identical", "file_loaded",
+                  "file_matches", "replay_identical"):
+        gate.check("obs", "capture.%s" % field, base["capture"][field],
+                   cur["capture"][field], "exact")
     for field in ("recorded", "dropped"):
         gate.check("obs", "overflow.%s" % field, base["overflow"][field],
                    cur["overflow"][field], "exact")
@@ -441,6 +476,88 @@ def compare_obs(gate, base, cur):
     gate.check("obs", "overhead.overhead_frac",
                base["overhead"]["overhead_frac"],
                cur["overhead"]["overhead_frac"], "info-lower")
+
+
+def breakdown_attribution(base, cur):
+    """One root-cause line for a p99 movement between two breakdowns.
+
+    Stage shares are the per-stage p99 deltas normalized by their
+    absolute sum (so the line is meaningful even when stages moved in
+    opposite directions); for fleet breakdowns the dominant stage is
+    refined with the track group where it moved most.  Mirrors
+    tools/trace_diff so CI and local forensics tell one story.
+    """
+    delta_ms = cur["end_to_end"]["p99_ms"] - base["end_to_end"]["p99_ms"]
+    base_stages = {s["stage"]: s for s in base["stages"]}
+    deltas = {}
+    for s in cur["stages"]:
+        b = base_stages.get(s["stage"])
+        if b is not None:
+            deltas[s["stage"]] = s["p99_ms"] - b["p99_ms"]
+    abs_sum = sum(abs(d) for d in deltas.values())
+    if not deltas or abs_sum == 0:
+        return "p99 %+.3f ms, no stage moved" % delta_ms
+    stage = max(deltas, key=lambda k: abs(deltas[k]))
+    where = stage
+    base_groups = {g["group"]: g for g in base.get("groups", [])}
+    best = 0.0
+    for g in cur.get("groups", []):
+        bg = base_groups.get(g["group"])
+        if bg is None:
+            continue
+        bg_stages = {s["stage"]: s for s in bg["stages"]}
+        for s in g["stages"]:
+            b = bg_stages.get(s["stage"])
+            if b is None or s["stage"] != stage:
+                continue
+            d = abs(s["p99_ms"] - b["p99_ms"])
+            if d > best:
+                best = d
+                where = "%s on %s" % (stage, g["group"])
+    return "p99 %+.3f ms, %.0f%% from %s" % (
+        delta_ms, 100.0 * abs(deltas[stage]) / abs_sum, where)
+
+
+@bench_compare("BREAKDOWN_obs.json")
+def compare_breakdown(gate, base, cur):
+    """Stage-by-stage diff of the recorded latency breakdown.
+
+    The structural facts gate exactly (the attribution walk is
+    byte-deterministic virtual time); the millisecond values are
+    host-independent too but gate as info so a deliberate service-model
+    change fails on its own bench, not twice.  Every run -- pass or fail
+    -- also emits the stage-attribution line, so a perf-gate failure
+    ships its root cause.
+    """
+    gate.check("breakdown", "schema_version", base["schema_version"],
+               cur["schema_version"], "exact")
+    for field in ("requests", "rejected", "unattributed", "gap_free",
+                  "reconstruction_exact"):
+        gate.check("breakdown", field, base[field], cur[field], "exact")
+    gate.check("breakdown", "tail.dominant_stage",
+               base["tail"]["dominant_stage"],
+               cur["tail"]["dominant_stage"], "exact")
+    gate.check("breakdown", "end_to_end.p99_ms",
+               base["end_to_end"]["p99_ms"],
+               cur["end_to_end"]["p99_ms"], "info-lower")
+    cur_stages = {s["stage"]: s for s in cur["stages"]}
+    for s in base["stages"]:
+        name = s["stage"]
+        got = cur_stages.get(name)
+        if got is None:
+            gate.missing("breakdown", "stage %s" % name)
+            continue
+        gate.check("breakdown", "%s.requests" % name, s["requests"],
+                   got["requests"], "exact")
+        gate.check("breakdown", "%s.p99_ms" % name, s["p99_ms"],
+                   got["p99_ms"], "info-lower")
+        gate.check("breakdown", "%s.share" % name, s["share"],
+                   got["share"], "info-lower")
+    for name in cur_stages:
+        if not any(s["stage"] == name for s in base["stages"]):
+            gate.missing("breakdown", "stage %s (new, not in baseline)"
+                         % name)
+    gate.note("breakdown", breakdown_attribution(base, cur))
 
 
 def main():

@@ -15,10 +15,21 @@
 //                             tracer self-accounting), name-sorted.
 //   obs_demo_manifest.json -- the run manifest: config JSON, seed, host
 //                             stamp and headline metrics.
+//   obs_demo_breakdown.json-- the latency attribution: every request's
+//                             end-to-end latency decomposed into exact
+//                             gap-free stages, per-stage percentiles,
+//                             the p99 tail budget and the critical path
+//                             (diff two of these with tools/trace_diff).
+//   obs_demo_flame.txt     -- the same attribution as collapsed stacks;
+//                             load it at https://speedscope.app or feed
+//                             it to flamegraph.pl.
+//   obs_demo.lattetrace    -- the request stream captured in the
+//                             versioned on-disk format; replaying it
+//                             reproduces this run bit for bit.
 //
 // Everything but the wall-clock host stamp is a deterministic function of
-// the trace and the config: re-running this demo reproduces the trace and
-// metrics files byte for byte.
+// the trace and the config: re-running this demo reproduces the trace,
+// metrics, breakdown, flame and capture files byte for byte.
 
 #include <cstdio>
 
@@ -71,6 +82,26 @@ int main() {
   registry.WriteJson(metrics_json);
   metrics_json.WriteFile("obs_demo_metrics.json");
 
+  // Latency attribution: where each request's time went, stage by stage.
+  const obs::Attribution attribution = obs::AttributeTracer(*engine.tracer());
+  const obs::LatencyBreakdown breakdown = obs::ComputeBreakdown(attribution);
+  obs::JsonWriter breakdown_json;
+  obs::WriteBreakdownJson(breakdown, breakdown_json);
+  breakdown_json.WriteFile("obs_demo_breakdown.json");
+
+  // Flame rendering of the same attribution (collapsed-stack format).
+  const std::string flame = obs::CollapsedStacks(attribution.requests);
+  {
+    std::FILE* f = std::fopen("obs_demo_flame.txt", "w");
+    if (f != nullptr) {
+      std::fwrite(flame.data(), 1, flame.size(), f);
+      std::fclose(f);
+    }
+  }
+
+  // Capture the request stream for later bit-exact replay.
+  CaptureTrace(trace, "obs_demo.lattetrace");
+
   // Run manifest.
   obs::RunManifest manifest;
   manifest.name = "examples/obs_demo";
@@ -93,8 +124,17 @@ int main() {
               static_cast<unsigned long long>(
                   engine.tracer()->total_dropped()));
   std::printf(
+      "attribution: %zu requests, gap-free %s, tail dominated by %s\n",
+      breakdown.requests, breakdown.gap_free ? "yes" : "NO",
+      obs::StageName(breakdown.tail.dominant));
+  if (!breakdown.critical_path.empty()) {
+    std::printf("critical path: %s\n", breakdown.critical_path.c_str());
+  }
+  std::printf(
       "wrote obs_demo_trace.json, obs_demo_metrics.json, "
-      "obs_demo_manifest.json\n");
+      "obs_demo_manifest.json,\n      obs_demo_breakdown.json, "
+      "obs_demo_flame.txt, obs_demo.lattetrace\n");
   std::printf("open obs_demo_trace.json at https://ui.perfetto.dev\n");
+  std::printf("open obs_demo_flame.txt at https://speedscope.app\n");
   return 0;
 }

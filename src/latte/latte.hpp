@@ -13,7 +13,9 @@
 // admission and accuracy-degradation controller (adapt), the workload
 // generators (workload), the evaluation metrics (metrics) and the
 // observability layer -- request-lifecycle tracing, the unified metrics
-// registry and the Chrome-trace / manifest exporters (obs).
+// registry, the Chrome-trace / manifest exporters, and the latency
+// attribution / flame / critical-path analysis over recorded traces
+// (obs), plus versioned .lattetrace capture/replay (workload).
 //
 // See README.md for a quickstart and DESIGN.md for the architecture.
 
@@ -58,6 +60,7 @@
 #include "nn/ops.hpp"
 #include "nn/qlinear.hpp"
 #include "nn/sharded_encoder.hpp"
+#include "obs/analyze.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
 #include "obs/json_writer.hpp"
@@ -97,3 +100,4 @@
 #include "workload/batch.hpp"
 #include "workload/dataset.hpp"
 #include "workload/synthetic.hpp"
+#include "workload/trace_io.hpp"

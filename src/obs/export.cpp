@@ -1,5 +1,7 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
+
 #include "cache/stats.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -84,13 +86,35 @@ void ExportServingReport(const ServingReport& report, std::string_view prefix,
 void ExportTracerStats(const Tracer& tracer, std::string_view prefix,
                        MetricsRegistry& registry) {
   std::uint64_t recorded = 0;
+  std::size_t high_water = 0;
+  std::size_t overflowed = 0;
   for (const auto& [track, name] : tracer.tracks()) {
     const TraceBuffer* buffer = tracer.buffer(track);
-    if (buffer != nullptr) recorded += buffer->events().size();
+    if (buffer == nullptr) continue;
+    recorded += buffer->events().size();
+    high_water = std::max(high_water, buffer->events().size());
+    if (buffer->dropped() > 0) ++overflowed;
   }
   registry.counter(Name(prefix, "events_recorded")).Add(recorded);
   registry.counter(Name(prefix, "events_dropped"))
       .Add(tracer.total_dropped());
+  // Ring-buffer pressure as gauges: overflow is visible in a metrics
+  // snapshot without walking Merged() accounting.  high_water is the
+  // fullest track's retained-event count; at the configured capacity the
+  // next event on that track drops.
+  const std::size_t capacity = tracer.config().buffer_capacity;
+  registry.gauge(Name(prefix, "buffer_capacity"))
+      .Set(static_cast<double>(capacity));
+  registry.gauge(Name(prefix, "tracks"))
+      .Set(static_cast<double>(tracer.tracks().size()));
+  registry.gauge(Name(prefix, "high_water"))
+      .Set(static_cast<double>(high_water));
+  registry.gauge(Name(prefix, "high_water_frac"))
+      .Set(capacity == 0 ? 0.0
+                         : static_cast<double>(high_water) /
+                               static_cast<double>(capacity));
+  registry.gauge(Name(prefix, "tracks_overflowed"))
+      .Set(static_cast<double>(overflowed));
 }
 
 }  // namespace latte::obs

@@ -47,7 +47,10 @@ void ExportThreadPoolStats(const ThreadPool& pool, std::string_view prefix,
 void ExportServingReport(const ServingReport& report, std::string_view prefix,
                          MetricsRegistry& registry);
 
-/// Tracer self-accounting: events recorded and dropped, per run.
+/// Tracer self-accounting: events recorded and dropped as counters, plus
+/// ring-buffer pressure as gauges (buffer_capacity, tracks, the fullest
+/// track's high_water / high_water_frac, and how many tracks overflowed)
+/// so a metrics snapshot shows overflow without walking Merged().
 void ExportTracerStats(const Tracer& tracer, std::string_view prefix,
                        MetricsRegistry& registry);
 

@@ -119,6 +119,7 @@ ServingEngine::ServingEngine(const ModelInstance& model,
       tier_service = MakeShardedServiceModel(std::move(tier_service),
                                              model.config(), cfg_.shard);
     }
+    shard_comm_ = MakeShardCommModel(model.config(), cfg_.shard);
   }
   if (cfg_.adapt.enabled) {
     controller_.emplace(cfg_.adapt);
@@ -199,8 +200,22 @@ void ServingEngine::EmitScheduleSpans(const DispatchSchedule& sched) {
     const std::int64_t arg =
         adaptive ? static_cast<std::int64_t>(batch.tier)
                  : static_cast<std::int64_t>(batch.indices.size());
-    RecordSpan(obs::SpanKind::kService, launch, done, b, arg,
-               track_base_ + static_cast<std::uint32_t>(sched.worker_of[b]));
+    const std::uint32_t worker_track =
+        track_base_ + static_cast<std::uint32_t>(sched.worker_of[b]);
+    RecordSpan(obs::SpanKind::kService, launch, done, b, arg, worker_track);
+    if (shard_comm_) {
+      // Attribute the gang's interconnect tail: the sharded price is
+      // base * share + comm, so the collectives occupy the last `comm`
+      // seconds of the service span (clamped against rounding when the
+      // compute share is negligible).  Zero for batches the min-length
+      // guard left unsharded.
+      const double comm_s = shard_comm_(BatchLengths(admitted_, batch));
+      if (comm_s > 0) {
+        RecordSpan(obs::SpanKind::kStage, std::max(launch, done - comm_s),
+                   done, b, static_cast<std::int64_t>(cfg_.shard.degree),
+                   worker_track);
+      }
+    }
     for (std::size_t idx : batch.indices) {
       if (adaptive && superseded_[idx] != 0) continue;
       RecordInstant(obs::SpanKind::kComplete, done, offered_ids_[idx],

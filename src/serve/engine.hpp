@@ -395,6 +395,10 @@ class ServingEngine {
   };
   std::optional<AdaptiveController> controller_;
   std::vector<BatchServiceModel> tier_services_;  ///< resolved per tier
+  /// Collectives term of the sharded backend's price, for attributing
+  /// each sharded batch's interconnect tail as its own trace sub-span.
+  /// Empty unless backend == kSharded.
+  BatchServiceModel shard_comm_;
   std::vector<OpenTier> open_tiers_;
   std::vector<std::size_t> tier_of_;       ///< parallel to admitted_
   std::vector<double> root_arrival_;       ///< original arrival (escalation)

@@ -58,4 +58,28 @@ BatchServiceModel MakeShardedServiceModel(BatchServiceModel base,
   };
 }
 
+BatchServiceModel MakeShardCommModel(const ModelConfig& model,
+                                     const ShardServiceConfig& cfg) {
+  ValidateShardServiceConfig(cfg);
+  const EncoderConfig enc = model.encoder;
+  const std::size_t layers = model.layers;
+  const ShardPlan plan =
+      MakeShardPlan(enc, {cfg.degree, cfg.row_parallel_ffn2});
+  const InterconnectModel icn(cfg.interconnect);
+  const std::size_t min_len = cfg.min_sharded_len;
+  return [enc, layers, plan, icn,
+          min_len](const std::vector<std::size_t>& lengths) {
+    if (lengths.empty()) return 0.0;
+    const std::size_t max_len =
+        *std::max_element(lengths.begin(), lengths.end());
+    if (min_len > 0 && max_len < min_len) return 0.0;
+    double comm_s = 0;
+    for (const std::size_t len : lengths) {
+      comm_s += static_cast<double>(layers) *
+                ShardLayerCommSeconds(plan, enc, icn, len);
+    }
+    return comm_s;
+  };
+}
+
 }  // namespace latte

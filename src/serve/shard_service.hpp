@@ -61,4 +61,18 @@ BatchServiceModel MakeShardedServiceModel(BatchServiceModel base,
                                           const ModelConfig& model,
                                           const ShardServiceConfig& cfg);
 
+/// Just the collectives term of the gang price above:
+///
+///   comm(lengths) = sum_req layers * ShardLayerCommSeconds(len)
+///
+/// and 0 for batches MakeShardedServiceModel would leave unsharded
+/// (empty, or below `cfg.min_sharded_len`).  The engine prices this
+/// separately to attribute each sharded batch's interconnect tail as its
+/// own trace sub-span (obs/analyze's shard_comm stage); by construction
+/// sharded(lengths) == base(lengths) * share + comm(lengths), so the
+/// sub-span always fits inside the service span.  Validates `cfg` and
+/// builds the plan against `model.encoder` (throws on mismatch).
+BatchServiceModel MakeShardCommModel(const ModelConfig& model,
+                                     const ShardServiceConfig& cfg);
+
 }  // namespace latte

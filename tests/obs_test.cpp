@@ -543,5 +543,237 @@ TEST(ShardTraceTest, StageSpansAreThreadInvariant) {
   }
 }
 
+// ------------------------------------------------------- percentile edges --
+
+TEST(PercentilesTest, AllEqualSamplesInterpolateExactly) {
+  const std::vector<double> equal(17, 3.25);
+  for (const double p : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+    const double v = obs::PercentileOfSorted(equal, p);
+    EXPECT_EQ(v, 3.25);
+    EXPECT_FALSE(std::isnan(v));
+  }
+}
+
+TEST(PercentilesTest, ExtremesAreExactAndNaNFree) {
+  // p = 0 and p = 1 must return the end samples themselves (no
+  // interpolation arithmetic, no read past the end, no NaN).
+  EXPECT_FALSE(std::isnan(obs::PercentileOfSorted({}, 0.0)));
+  EXPECT_FALSE(std::isnan(obs::PercentileOfSorted({}, 1.0)));
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_EQ(obs::PercentileOfSorted(two, 0.0), 1.0);
+  EXPECT_EQ(obs::PercentileOfSorted(two, 1.0), 2.0);
+  EXPECT_FALSE(std::isnan(obs::PercentileOfSorted(two, 0.0)));
+  EXPECT_FALSE(std::isnan(obs::PercentileOfSorted(two, 1.0)));
+}
+
+// ------------------------------------------------------------ attribution --
+
+TEST(AttributionTest, BatchedRunIsGapFreeAndMatchesReport) {
+  ServingEngineConfig cfg = SmallEngineConfig();
+  cfg.trace.enabled = true;
+  ServingEngine engine(SmallModel(), cfg);
+  const ServingResult res = engine.Replay(SmallTrace(48, 400));
+
+  const obs::Attribution att = obs::AttributeTracer(*engine.tracer());
+  EXPECT_EQ(att.requests.size(), res.report().requests);
+  EXPECT_EQ(att.unattributed, 0u);
+  EXPECT_EQ(att.rejected, 0u);
+  for (const auto& r : att.requests) {
+    EXPECT_EQ(r.path, obs::RequestPath::kBatched);
+    EXPECT_TRUE(r.gap_free()) << "request " << r.offered_id;
+    // The strong form: the left-to-right stage sum reconstructs the
+    // end-to-end latency bitwise -- no unattributed remainder.
+    EXPECT_EQ(r.attributed_s(), r.total_s()) << "request " << r.offered_id;
+    ASSERT_GE(r.segments.size(), 2u);
+    EXPECT_EQ(r.segments.front().begin_s, r.arrival_s);
+    EXPECT_EQ(r.segments.back().end_s, r.done_s);
+  }
+
+  const obs::LatencyBreakdown bd = obs::ComputeBreakdown(att);
+  EXPECT_TRUE(bd.gap_free);
+  EXPECT_TRUE(bd.reconstruction_exact);
+  EXPECT_EQ(bd.max_gap_s, 0.0);
+  EXPECT_TRUE(obs::BreakdownMatchesReport(bd, res.report()));
+  ASSERT_EQ(bd.stages.size(), 2u);  // queue_wait + service, nothing else
+  EXPECT_EQ(bd.stages[0].stage, obs::Stage::kQueueWait);
+  EXPECT_EQ(bd.stages[1].stage, obs::Stage::kService);
+  EXPECT_TRUE(bd.groups.empty());
+  EXPECT_FALSE(bd.critical_path.empty());
+}
+
+TEST(AttributionTest, CacheHitAndCoalescePathsAreCovered) {
+  ServingEngineConfig cfg = SmallEngineConfig();
+  cfg.trace.enabled = true;
+  cfg.cache.enabled = true;
+  cfg.cache.key_policy = CacheKeyPolicy::kRequestId;
+  // Popularity-skewed identities (same id => same length) so the cache
+  // actually hits and coalesces.
+  ZipfTraceConfig zipf;
+  zipf.arrival_rate_rps = 300;
+  zipf.requests = 48;
+  zipf.population = 8;
+  zipf.skew = 1.1;
+  zipf.seed = 21;
+  const auto trace = GenerateZipfTrace(zipf, Mrpc());
+  ServingEngine engine(SmallModel(), cfg);
+  const ServingResult res = engine.Replay(trace);
+  ASSERT_GT(res.cache.hits, 0u);
+  ASSERT_GT(res.cache.coalesced, 0u);
+
+  const obs::Attribution att = obs::AttributeTracer(*engine.tracer());
+  EXPECT_EQ(att.unattributed, 0u);
+  std::size_t hits = 0;
+  std::size_t coalesced = 0;
+  for (const auto& r : att.requests) {
+    EXPECT_TRUE(r.gap_free()) << "request " << r.offered_id;
+    EXPECT_EQ(r.attributed_s(), r.total_s()) << "request " << r.offered_id;
+    hits += r.path == obs::RequestPath::kCacheHit ? 1 : 0;
+    coalesced += r.path == obs::RequestPath::kCoalesced ? 1 : 0;
+  }
+  EXPECT_EQ(hits, res.cache.hits);
+  EXPECT_EQ(coalesced, res.cache.coalesced);
+  EXPECT_TRUE(
+      obs::BreakdownMatchesReport(obs::ComputeBreakdown(att), res.report()));
+}
+
+TEST(AttributionTest, EscalatedRequestsTileAcrossBothPasses) {
+  ServingEngineConfig cfg = SmallEngineConfig();
+  cfg.former.timeout_s = 0.005;
+  cfg.workers = 1;
+  cfg.threads = 2;
+  cfg.execute = false;
+  cfg.trace.enabled = true;
+  cfg.adapt.enabled = true;
+  cfg.adapt.slo_p99_s = 0.05;
+  cfg.adapt.tiers = {ServiceTier{16, false, 1.0}, ServiceTier{8, false, 0.95},
+                     ServiceTier{4, true, 0.85}};
+  // Degrade almost immediately and distrust every first pass (the
+  // adapt_test escalation recipe), so re-runs are guaranteed to fire.
+  cfg.adapt.epoch_s = 0.0002;
+  cfg.adapt.low_band = 0.0;
+  cfg.adapt.high_band = 1e-6;
+  cfg.adapt.queue_ref = 1;
+  cfg.adapt.escalate_margin = 1.0;
+  ServingEngine engine(SmallModel(), cfg);
+  std::vector<TimedRequest> burst;
+  for (std::size_t i = 0; i < 24; ++i) {
+    burst.push_back({static_cast<double>(i) * 0.001, 96});
+  }
+  const ServingResult res = engine.Replay(burst);
+  ASSERT_EQ(res.report().tiers.size(), 3u);
+  ASSERT_GT(res.report().tiers[2].escalated, 0u);
+
+  const obs::Attribution att = obs::AttributeTracer(*engine.tracer());
+  EXPECT_EQ(att.unattributed, 0u);
+  std::size_t escalated = 0;
+  for (const auto& r : att.requests) {
+    EXPECT_TRUE(r.gap_free()) << "request " << r.offered_id;
+    EXPECT_EQ(r.attributed_s(), r.total_s()) << "request " << r.offered_id;
+    if (r.path != obs::RequestPath::kEscalated) continue;
+    ++escalated;
+    // queue_wait -> superseded first pass -> re-queue -> final service.
+    ASSERT_GE(r.segments.size(), 4u);
+    EXPECT_GT(
+        r.stage_s[static_cast<std::size_t>(obs::Stage::kEscalatedService)],
+        0.0);
+  }
+  EXPECT_GT(escalated, 0u);
+  const obs::LatencyBreakdown bd = obs::ComputeBreakdown(att);
+  EXPECT_TRUE(bd.gap_free);
+  EXPECT_TRUE(obs::BreakdownMatchesReport(bd, res.report()));
+}
+
+TEST(AttributionTest, ShardCommSubSpanSplitsServiceExactly) {
+  ServingEngineConfig cfg = SmallEngineConfig();
+  cfg.trace.enabled = true;
+  cfg.execute = false;
+  cfg.backend = BackendMode::kSharded;
+  cfg.shard.degree = 2;
+  ServingEngine engine(SmallModel(), cfg);
+  const ServingResult res = engine.Replay(SmallTrace(32, 300));
+
+  const obs::Attribution att = obs::AttributeTracer(*engine.tracer());
+  EXPECT_EQ(att.requests.size(), res.report().requests);
+  EXPECT_EQ(att.unattributed, 0u);
+  bool saw_comm = false;
+  for (const auto& r : att.requests) {
+    EXPECT_TRUE(r.gap_free()) << "request " << r.offered_id;
+    EXPECT_EQ(r.attributed_s(), r.total_s()) << "request " << r.offered_id;
+    saw_comm |=
+        r.stage_s[static_cast<std::size_t>(obs::Stage::kShardComm)] > 0.0;
+  }
+  EXPECT_TRUE(saw_comm);
+  const obs::LatencyBreakdown bd = obs::ComputeBreakdown(att);
+  EXPECT_TRUE(bd.gap_free);
+  EXPECT_TRUE(bd.reconstruction_exact);
+  EXPECT_TRUE(obs::BreakdownMatchesReport(bd, res.report()));
+}
+
+TEST(AttributionTest, AnalysisArtifactsAreByteIdenticalAcrossThreads) {
+  const auto trace = SmallTrace(48, 400);
+  std::string reference_breakdown;
+  std::string reference_flame;
+  for (const std::size_t threads : {1u, 4u}) {
+    ServingEngineConfig cfg = SmallEngineConfig();
+    cfg.threads = threads;
+    cfg.trace.enabled = true;
+    ServingEngine engine(SmallModel(), cfg);
+    engine.Replay(trace);
+    const obs::Attribution att = obs::AttributeTracer(*engine.tracer());
+    const std::string breakdown = obs::BreakdownJson(obs::ComputeBreakdown(att));
+    const std::string flame = obs::CollapsedStacks(att.requests);
+    if (threads == 1) {
+      reference_breakdown = breakdown;
+      reference_flame = flame;
+      continue;
+    }
+    EXPECT_EQ(breakdown, reference_breakdown);
+    EXPECT_EQ(flame, reference_flame);
+  }
+}
+
+TEST(AttributionTest, OverflowIsReportedAsUnattributed) {
+  ServingEngineConfig cfg = SmallEngineConfig();
+  cfg.execute = false;
+  cfg.trace.enabled = true;
+  cfg.trace.buffer_capacity = 8;
+  ServingEngine engine(SmallModel(), cfg);
+  engine.Replay(SmallTrace(48, 400));
+  ASSERT_GT(engine.tracer()->total_dropped(), 0u);
+
+  // A truncated trace must degrade to counted unattributed requests --
+  // never a throw, never a silently partial timeline passed off as whole.
+  const obs::Attribution att = obs::AttributeTracer(*engine.tracer());
+  EXPECT_GT(att.unattributed, 0u);
+  EXPECT_LT(att.requests.size(), 48u);
+  for (const auto& r : att.requests) {
+    EXPECT_TRUE(r.gap_free()) << "request " << r.offered_id;
+  }
+  const obs::LatencyBreakdown bd = obs::ComputeBreakdown(att);
+  EXPECT_EQ(bd.unattributed, att.unattributed);
+}
+
+TEST(AttributionTest, FlameAndCriticalPathRenderings) {
+  obs::RequestAttribution r;
+  r.offered_id = 42;
+  r.group = "r1";
+  r.path = obs::RequestPath::kBatched;
+  r.arrival_s = 0.0;
+  r.done_s = 0.004;
+  r.segments = {{obs::Stage::kQueueWait, 0.0, 0.0021, "batch 7"},
+                {obs::Stage::kService, 0.0021, 0.004, "worker 0"}};
+  r.stage_s[static_cast<std::size_t>(obs::Stage::kQueueWait)] = 0.0021;
+  r.stage_s[static_cast<std::size_t>(obs::Stage::kService)] = 0.004 - 0.0021;
+  ASSERT_TRUE(r.gap_free());
+
+  EXPECT_EQ(obs::CollapsedStacks({r}),
+            "all;r1;batched;queue_wait 2100000\n"
+            "all;r1;batched;service 1900000\n");
+  EXPECT_EQ(obs::CriticalPathString(r),
+            "req 42 @r1: queue_wait 2.1ms (batch 7) -> "
+            "service 1.9ms (worker 0) | e2e 4ms");
+  EXPECT_EQ(obs::TailRequest({}), nullptr);
+}
+
 }  // namespace
 }  // namespace latte

@@ -458,6 +458,32 @@ TEST(ShardServiceTest, MinShardedLenKeepsShortBatchesUnsharded) {
   EXPECT_NE(sharded({100, 4096}), base({100, 4096}));
 }
 
+TEST(ShardServiceTest, CommModelIsTheCollectivesTermExactly) {
+  const ModelConfig model = ScaledDown(BertBase(), 2);
+  // With a zero-cost base the gang price degenerates to the collectives
+  // term alone, so the standalone comm model (what the engine prices the
+  // shard_comm trace sub-span with) must reproduce it bit for bit.
+  const BatchServiceModel zero = [](const std::vector<std::size_t>&) {
+    return 0.0;
+  };
+  ShardServiceConfig cfg;
+  cfg.degree = 4;
+  const BatchServiceModel sharded = MakeShardedServiceModel(zero, model, cfg);
+  const BatchServiceModel comm = MakeShardCommModel(model, cfg);
+
+  const std::vector<std::size_t> batch = {128, 512, 37};
+  EXPECT_GT(comm(batch), 0.0);
+  EXPECT_EQ(comm(batch), sharded(batch));
+  EXPECT_EQ(comm(batch), comm(batch));  // deterministic bits
+  EXPECT_EQ(comm({}), 0.0);
+
+  // Batches the gang would leave unsharded pay no collectives.
+  cfg.min_sharded_len = 256;
+  const BatchServiceModel gated = MakeShardCommModel(model, cfg);
+  EXPECT_EQ(gated({100, 200}), 0.0);
+  EXPECT_GT(gated({100, 4096}), 0.0);
+}
+
 TEST(ShardServiceTest, ValidatesConfig) {
   ShardServiceConfig cfg;
   cfg.degree = 1;

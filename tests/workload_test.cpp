@@ -5,13 +5,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "workload/arrivals.hpp"
 #include "workload/batch.hpp"
 #include "workload/dataset.hpp"
 #include "workload/synthetic.hpp"
+#include "workload/trace_io.hpp"
 
 namespace latte {
 namespace {
@@ -350,6 +354,69 @@ TEST(SyntheticTest, EmbeddingShape) {
   const auto x = MakeInputEmbedding(rng, 7, 96);
   EXPECT_EQ(x.rows(), 7u);
   EXPECT_EQ(x.cols(), 96u);
+}
+
+// --------------------------------------------------------------- TraceIo --
+
+TEST(TraceIoTest, JsonRoundTripIsBitExact) {
+  ZipfTraceConfig cfg;
+  cfg.requests = 64;
+  cfg.population = 8;
+  cfg.seed = 3;
+  auto trace = GenerateZipfTrace(cfg, Mrpc());
+  // Cover the anonymous-id edge too: ~0ull must survive the trip (it
+  // cannot ride a JSON double, which is why ids are hex strings).
+  trace.push_back({trace.back().arrival_s + 0.1 / 3.0, 77, kAnonymousId});
+
+  const std::string json = TraceToJson(trace);
+  const auto back = TraceFromJson(json);
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(back[i].arrival_s, trace[i].arrival_s) << "record " << i;
+    EXPECT_EQ(back[i].length, trace[i].length) << "record " << i;
+    EXPECT_EQ(back[i].id, trace[i].id) << "record " << i;
+  }
+  // Re-serializing the parse reproduces the document byte for byte.
+  EXPECT_EQ(TraceToJson(back), json);
+}
+
+TEST(TraceIoTest, FileCaptureAndLoad) {
+  const std::string path = ::testing::TempDir() + "trace_io_test.lattetrace";
+  PoissonTraceConfig cfg;
+  cfg.arrival_rate_rps = 150;
+  cfg.requests = 32;
+  cfg.seed = 5;
+  const auto trace = GeneratePoissonTrace(cfg, Mrpc());
+
+  ASSERT_TRUE(CaptureTrace(trace, path));
+  const auto loaded = LoadTrace(path);
+  EXPECT_EQ(TraceToJson(loaded), TraceToJson(trace));
+
+  std::vector<TimedRequest> out;
+  EXPECT_TRUE(TryLoadTrace(path, out));
+  EXPECT_EQ(out.size(), trace.size());
+  // An absent file is the soft bench fallback, not an error.
+  EXPECT_FALSE(TryLoadTrace(path + ".missing", out));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, RejectsMalformedCaptures) {
+  EXPECT_THROW(TraceFromJson("{}"), std::invalid_argument);
+  EXPECT_THROW(TraceFromJson(R"({"magic":"other","version":1,"requests":0,)"
+                             R"("records":[]})"),
+               std::invalid_argument);
+  EXPECT_THROW(TraceFromJson(R"({"magic":"lattetrace","version":99,)"
+                             R"("requests":0,"records":[]})"),
+               std::invalid_argument);
+  // Declared count must match the records actually present.
+  EXPECT_THROW(TraceFromJson(R"({"magic":"lattetrace","version":1,)"
+                             R"("requests":2,"records":[]})"),
+               std::invalid_argument);
+  // Ids are "0x..." hex strings; a bare number is a corrupt capture.
+  EXPECT_THROW(
+      TraceFromJson(R"({"magic":"lattetrace","version":1,"requests":1,)"
+                    R"("records":[{"arrival_s":0,"length":1,"id":"42"}]})"),
+      std::invalid_argument);
 }
 
 }  // namespace
